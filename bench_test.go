@@ -1,0 +1,281 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark runs the corresponding experiment and reports the
+// figures' headline quantities as custom metrics; the first iteration also
+// prints the paper-style table. Absolute wall-clock ns/op measures the
+// simulator, not the system under test — the interesting outputs are the
+// Mb/s, cycles/packet and req/s metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/profile"
+)
+
+// benchStream shortens runs so each bench iteration stays ~0.1-0.5 s.
+func benchStream(b *testing.B, cfg StreamConfig) StreamResult {
+	b.Helper()
+	cfg.DurationNs = 50_000_000
+	cfg.WarmupNs = 25_000_000
+	res, err := RunStream(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig1_PrefetchImpact regenerates Figure 1: overhead shares on the
+// 3.8 GHz uniprocessor under None/Partial/Full prefetching.
+func BenchmarkFig1_PrefetchImpact(b *testing.B) {
+	groups := profile.StandardShareGroups()
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		var per [][]float64
+		for _, mode := range []memmodel.PrefetchMode{
+			memmodel.PrefetchNone, memmodel.PrefetchPartial, memmodel.PrefetchFull,
+		} {
+			p := NativeUP38()
+			p.Mem.Mode = mode
+			cfg := DefaultStreamConfig(SystemNativeUP, OptNone)
+			cfg.NICs = 1
+			cfg.Params = &p
+			res := benchStream(b, cfg)
+			shares := profile.ShareLine(res.Breakdown, groups)
+			rows = append(rows, mode.String())
+			per = append(per, shares)
+			b.ReportMetric(shares[0], "pct_per_byte_"+mode.String())
+		}
+		if i == 0 {
+			fmt.Print(profile.SharesTable("Figure 1 (paper: per-byte 52% -> 14%, per-packet 37% -> ~70%)",
+				rows, per, groups))
+		}
+	}
+}
+
+// BenchmarkFig2_SystemsComparison regenerates Figure 2: per-byte vs
+// per-packet shares for UP, SMP and Xen with full prefetching.
+func BenchmarkFig2_SystemsComparison(b *testing.B) {
+	groups := profile.StandardShareGroups()
+	for i := 0; i < b.N; i++ {
+		var rows []string
+		var per [][]float64
+		for _, sys := range []SystemKind{SystemNativeUP, SystemNativeSMP, SystemXen} {
+			res := benchStream(b, DefaultStreamConfig(sys, OptNone))
+			rows = append(rows, sys.String())
+			per = append(per, profile.ShareLine(res.Breakdown, groups))
+		}
+		if i == 0 {
+			fmt.Print(profile.SharesTable("Figure 2 (paper: per-packet dominates everywhere)",
+				rows, per, groups))
+		}
+	}
+}
+
+// BenchmarkFig3_UPBreakdown regenerates Figure 3: the uniprocessor
+// cycles-per-packet breakdown.
+func BenchmarkFig3_UPBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchStream(b, DefaultStreamConfig(SystemNativeUP, OptNone))
+		b.ReportMetric(res.CyclesPerPacket, "cycles/pkt")
+		if i == 0 {
+			fmt.Print(FormatBreakdown(
+				"Figure 3 (paper shares: per-byte 17%, rx+tx 21%, buffer+non-proto 25%, driver 21%)",
+				res.Breakdown))
+		}
+	}
+}
+
+// BenchmarkFig4_SMPBreakdown regenerates Figure 4: UP vs SMP breakdowns
+// (rx +62%, tx +40% from locking).
+func BenchmarkFig4_SMPBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		up := benchStream(b, DefaultStreamConfig(SystemNativeUP, OptNone))
+		smp := benchStream(b, DefaultStreamConfig(SystemNativeSMP, OptNone))
+		b.ReportMetric(smp.Breakdown.Get(1)/up.Breakdown.Get(1), "rx_ratio")
+		if i == 0 {
+			fmt.Print(profile.Comparison(
+				"Figure 4 (paper: rx +62%, tx +40%, buffer/copy unchanged)",
+				"UP", "SMP", up.Breakdown, smp.Breakdown, profile.NativeCategories))
+		}
+	}
+}
+
+// BenchmarkFig6_XenBreakdown regenerates Figure 6: the virtualized
+// breakdown (per-packet 56%, per-byte 14%, TCP itself only 10%).
+func BenchmarkFig6_XenBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchStream(b, DefaultStreamConfig(SystemXen, OptNone))
+		b.ReportMetric(res.CyclesPerPacket, "cycles/pkt")
+		if i == 0 {
+			fmt.Print(FormatXenBreakdown(
+				"Figure 6 (paper: virt per-packet 56%, per-byte 14%, TCP rx+tx 10%)",
+				res.Breakdown))
+		}
+	}
+}
+
+// BenchmarkFig7_OverallThroughput regenerates Figure 7: Original vs RA-only
+// vs Optimized throughput for the three systems.
+func BenchmarkFig7_OverallThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			fmt.Println("Figure 7 (paper: UP 3452->4660, SMP 2988->4660, Xen 1088->1877 Mb/s)")
+		}
+		for _, sys := range []SystemKind{SystemNativeUP, SystemNativeSMP, SystemXen} {
+			orig := benchStream(b, DefaultStreamConfig(sys, OptNone))
+			ra := benchStream(b, DefaultStreamConfig(sys, OptAggregation))
+			opt := benchStream(b, DefaultStreamConfig(sys, OptFull))
+			b.ReportMetric(orig.ThroughputMbps, fmt.Sprintf("Mbps_orig_%d", int(sys)))
+			b.ReportMetric(opt.ThroughputMbps, fmt.Sprintf("Mbps_opt_%d", int(sys)))
+			if i == 0 {
+				fmt.Printf("  %-10s original %5.0f | RA only %5.0f (%+3.0f%%) | optimized %5.0f (%+3.0f%%) at %2.0f%% CPU\n",
+					sys, orig.ThroughputMbps,
+					ra.ThroughputMbps, (ra.ThroughputMbps/orig.ThroughputMbps-1)*100,
+					opt.ThroughputMbps, (opt.ThroughputMbps/orig.ThroughputMbps-1)*100,
+					opt.CPUUtil*100)
+			}
+		}
+	}
+}
+
+// figOptBreakdownBench is the shared shape of Figures 8-10.
+func figOptBreakdownBench(b *testing.B, sys SystemKind, title string, xen bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		orig := benchStream(b, DefaultStreamConfig(sys, OptNone))
+		opt := benchStream(b, DefaultStreamConfig(sys, OptFull))
+		b.ReportMetric(orig.CyclesPerPacket/opt.CyclesPerPacket, "total_reduction_x")
+		b.ReportMetric(opt.AggFactor, "agg_factor")
+		if i == 0 {
+			fmt.Print(FormatComparison(title, orig.Breakdown, opt.Breakdown, xen))
+		}
+	}
+}
+
+// BenchmarkFig8_UPOptimizedBreakdown regenerates Figure 8 (paper: the four
+// per-packet categories fall 4.3x; aggr costs ~789 cycles/packet; the
+// driver sheds ~681).
+func BenchmarkFig8_UPOptimizedBreakdown(b *testing.B) {
+	figOptBreakdownBench(b, SystemNativeUP,
+		"Figure 8 (paper: per-packet categories ÷4.3, aggr ~789 cycles/pkt)", false)
+}
+
+// BenchmarkFig9_SMPOptimizedBreakdown regenerates Figure 9 (paper: 5.5x —
+// the lock overhead scales down with the packet count).
+func BenchmarkFig9_SMPOptimizedBreakdown(b *testing.B) {
+	figOptBreakdownBench(b, SystemNativeSMP,
+		"Figure 9 (paper: per-packet categories ÷5.5)", false)
+}
+
+// BenchmarkFig10_XenOptimizedBreakdown regenerates Figure 10 (paper: virt
+// per-packet categories ÷3.7; netfront/netback fall less — per-fragment
+// costs remain).
+func BenchmarkFig10_XenOptimizedBreakdown(b *testing.B) {
+	figOptBreakdownBench(b, SystemXen,
+		"Figure 10 (paper: virt per-packet categories ÷3.7)", true)
+}
+
+// BenchmarkFig11_AggregationLimitSweep regenerates Figure 11: CPU cycles
+// per packet as a function of the Aggregation Limit (x + y/k shape, knee
+// well before the paper's chosen 20).
+func BenchmarkFig11_AggregationLimitSweep(b *testing.B) {
+	limits := []int{1, 2, 3, 5, 8, 10, 15, 20, 25, 30, 35}
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			fmt.Println("Figure 11 (paper: steep drop then flat; limit 20 chosen)")
+			fmt.Printf("  %-6s %14s %6s\n", "limit", "cycles/packet", "agg")
+		}
+		for _, lim := range limits {
+			cfg := DefaultStreamConfig(SystemNativeUP, OptFull)
+			cfg.AggLimit = lim
+			res := benchStream(b, cfg)
+			if lim == 1 || lim == 20 {
+				b.ReportMetric(res.CyclesPerPacket, fmt.Sprintf("cycles_limit%d", lim))
+			}
+			if i == 0 {
+				fmt.Printf("  %-6d %14.0f %6.1f\n", lim, res.CyclesPerPacket, res.AggFactor)
+			}
+		}
+	}
+}
+
+// BenchmarkFig12_Scalability regenerates Figure 12: throughput vs number of
+// concurrent connections on the SMP system.
+func BenchmarkFig12_Scalability(b *testing.B) {
+	conns := []int{5, 25, 100, 400}
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			fmt.Println("Figure 12 (paper: optimized stays >=40% ahead through 400 connections)")
+			fmt.Printf("  %-8s %10s %10s %7s\n", "conns", "Original", "Optimized", "gain")
+		}
+		for _, c := range conns {
+			base := DefaultStreamConfig(SystemNativeSMP, OptNone)
+			base.Connections = c
+			orig := benchStream(b, base)
+			optCfg := DefaultStreamConfig(SystemNativeSMP, OptFull)
+			optCfg.Connections = c
+			opt := benchStream(b, optCfg)
+			if c == 400 {
+				b.ReportMetric(opt.ThroughputMbps/orig.ThroughputMbps, "gain_at_400_x")
+			}
+			if i == 0 {
+				fmt.Printf("  %-8d %10.0f %10.0f %+6.0f%%\n", c,
+					orig.ThroughputMbps, opt.ThroughputMbps,
+					(opt.ThroughputMbps/orig.ThroughputMbps-1)*100)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1_RequestResponse regenerates Table 1: netperf-style
+// request/response rates with and without the optimizations.
+func BenchmarkTable1_RequestResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			fmt.Println("Table 1 (paper: UP 7874/7894, SMP 7970/7985, Xen 6965/6953 req/s)")
+		}
+		for _, sys := range []SystemKind{SystemNativeUP, SystemNativeSMP, SystemXen} {
+			cfg := DefaultRRConfig(sys, OptNone)
+			cfg.DurationNs = 150_000_000
+			orig, err := RunRR(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Opt = OptFull
+			opt, err := RunRR(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(orig.RequestsPerSec, fmt.Sprintf("reqps_orig_%d", int(sys)))
+			if i == 0 {
+				fmt.Printf("  %-10s original %5.0f | optimized %5.0f (%+.2f%%)\n",
+					sys, orig.RequestsPerSec, opt.RequestsPerSec,
+					(opt.RequestsPerSec/orig.RequestsPerSec-1)*100)
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_AggLimitOne checks §5.5: an Aggregation Limit of 1
+// (the engine on the path but never coalescing) must not degrade
+// performance relative to the baseline.
+func BenchmarkAblation_AggLimitOne(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := benchStream(b, DefaultStreamConfig(SystemNativeUP, OptNone))
+		cfg := DefaultStreamConfig(SystemNativeUP, OptFull)
+		cfg.AggLimit = 1
+		lim1 := benchStream(b, cfg)
+		b.ReportMetric(lim1.CyclesPerPacket/base.CyclesPerPacket, "limit1_vs_base_x")
+		if i == 0 {
+			fmt.Printf("limit 1: %.0f cycles/pkt vs baseline %.0f (%+.1f%%; paper: no degradation)\n",
+				lim1.CyclesPerPacket, base.CyclesPerPacket,
+				(lim1.CyclesPerPacket/base.CyclesPerPacket-1)*100)
+		}
+	}
+}

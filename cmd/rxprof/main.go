@@ -1,0 +1,82 @@
+// Command rxprof prints an OProfile-style cycle breakdown of the receive
+// path for one configuration, as a table and a bar chart:
+//
+//	rxprof -system xen -opt full
+//	rxprof -system up -opt none -limit 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/profile"
+)
+
+var (
+	system   = flag.String("system", "up", "receiver system: up, smp, xen")
+	opt      = flag.String("opt", "full", "receive path: none, ra, full")
+	limit    = flag.Int("limit", 0, "aggregation limit override (0 = default 20)")
+	nics     = flag.Int("nics", 5, "number of Gigabit NICs")
+	duration = flag.Duration("duration", 150*time.Millisecond, "measured virtual duration")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rxprof: ")
+	flag.Parse()
+
+	sys, xen, err := parseSystem(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	level, err := parseOpt(*opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := repro.DefaultStreamConfig(sys, level)
+	cfg.NICs = *nics
+	cfg.AggLimit = *limit
+	cfg.DurationNs = uint64(duration.Nanoseconds())
+	res, err := repro.RunStream(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	title := fmt.Sprintf("%s / %s: %.0f Mb/s, %.0f%% CPU, %.0f cycles/packet, aggregation %.1fx",
+		sys, level, res.ThroughputMbps, res.CPUUtil*100, res.CyclesPerPacket, res.AggFactor)
+	cats := profile.NativeCategories
+	if xen {
+		cats = profile.XenCategories
+	}
+	fmt.Print(profile.Table(title, res.Breakdown, cats))
+	fmt.Println()
+	fmt.Print(profile.Bar("cycles/packet by category", res.Breakdown, cats, 50))
+}
+
+func parseSystem(s string) (repro.SystemKind, bool, error) {
+	switch s {
+	case "up":
+		return repro.SystemNativeUP, false, nil
+	case "smp":
+		return repro.SystemNativeSMP, false, nil
+	case "xen":
+		return repro.SystemXen, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown system %q (want up, smp, xen)", s)
+}
+
+func parseOpt(s string) (repro.OptLevel, error) {
+	switch s {
+	case "none", "original":
+		return repro.OptNone, nil
+	case "ra", "aggregation":
+		return repro.OptAggregation, nil
+	case "full", "optimized":
+		return repro.OptFull, nil
+	}
+	return 0, fmt.Errorf("unknown opt level %q (want none, ra, full)", s)
+}

@@ -1,0 +1,63 @@
+// SAN receiver: the paper's motivating real-world scenario (§5.5) — a
+// storage server ingesting bulk data over many Gigabit links, as an iSCSI
+// target would during large writes. This example sweeps the receive-path
+// variants and connection counts the way a storage operator would size a
+// box: how many links can one CPU serve, and what head-room is left?
+//
+//	go run ./examples/sanreceiver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("SAN ingest sizing: SMP storage head, five Gigabit links")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %8s %14s\n", "receive path", "Mb/s", "CPU", "cycles/packet")
+	for _, tc := range []struct {
+		name string
+		opt  repro.OptLevel
+	}{
+		{"stock stack", repro.OptNone},
+		{"+ aggregation", repro.OptAggregation},
+		{"+ ack offload", repro.OptFull},
+	} {
+		cfg := repro.DefaultStreamConfig(repro.SystemNativeSMP, tc.opt)
+		res, err := repro.RunStream(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.0f %7.0f%% %14.0f\n",
+			tc.name, res.ThroughputMbps, res.CPUUtil*100, res.CyclesPerPacket)
+	}
+
+	// Storage heads serve many initiators: check the optimization holds
+	// up as sessions multiply (paper Figure 12).
+	fmt.Println()
+	fmt.Printf("%-10s %12s %12s %8s\n", "sessions", "stock Mb/s", "opt Mb/s", "gain")
+	for _, sessions := range []int{5, 50, 200, 400} {
+		base := repro.DefaultStreamConfig(repro.SystemNativeSMP, repro.OptNone)
+		base.Connections = sessions
+		b, err := repro.RunStream(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := repro.DefaultStreamConfig(repro.SystemNativeSMP, repro.OptFull)
+		opt.Connections = sessions
+		o, err := repro.RunStream(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %12.0f %12.0f %+7.0f%%\n",
+			sessions, b.ThroughputMbps, o.ThroughputMbps,
+			(o.ThroughputMbps/b.ThroughputMbps-1)*100)
+	}
+	fmt.Println("\nthe optimized path keeps the links saturated; the stock stack")
+	fmt.Println("pins the CPU at ~60% of link capacity regardless of session count")
+}

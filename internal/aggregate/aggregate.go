@@ -1,0 +1,413 @@
+// Package aggregate implements Receive Aggregation, the paper's first
+// optimization (§3): in-sequence TCP packets of the same connection are
+// coalesced below the network stack into a single aggregated host packet,
+// so the per-packet costs above this layer are paid once per aggregate.
+//
+// The engine sits at the entry point of softirq network processing. The
+// NIC driver (in raw mode) enqueues unmodified frames; the engine performs
+// the early demultiplexing — taking the compulsory cache miss the driver
+// used to take (§5.1) — applies the §3.1 eligibility rules, and either
+// coalesces the frame into a pending aggregate, flushes, or passes the
+// frame through untouched.
+//
+// Eligibility (§3.1): IPv4 TCP, valid IP header checksum (verified here in
+// software), TCP checksum already validated by the NIC (receive checksum
+// offload — without it no aggregation happens), no IP options, not an IP
+// fragment, no TCP flags beyond ACK/PSH, non-empty payload (pure ACKs are
+// never aggregated), and either no TCP options or exactly the timestamp
+// option. Within a flow, frames must be in sequence by both sequence number
+// and acknowledgment number.
+package aggregate
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/ether"
+	"repro/internal/ipv4"
+	"repro/internal/nic"
+	"repro/internal/tcpwire"
+)
+
+// FlowKey identifies a TCP connection as seen by the receiver.
+type FlowKey struct {
+	Src, Dst         ipv4.Addr
+	SrcPort, DstPort uint16
+}
+
+// String renders the flow four-tuple.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d", k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Limit is the Aggregation Limit: the maximum number of network
+	// packets coalesced into one aggregated packet (§3.3). A limit of 1
+	// disables coalescing but keeps the engine on the path (the §5.5
+	// no-degradation check).
+	Limit int
+	// TableSize bounds the lookup table of partially aggregated packets
+	// (§3.5 describes it as small). When full, the oldest pending
+	// aggregate is flushed to make room.
+	TableSize int
+}
+
+// DefaultConfig uses the paper's chosen Aggregation Limit of 20.
+func DefaultConfig() Config {
+	return Config{Limit: 20, TableSize: 256}
+}
+
+// Stats counts engine activity and rejection reasons.
+type Stats struct {
+	FramesIn  uint64 // frames consumed from the aggregation queue
+	HostOut   uint64 // host packets delivered to the stack
+	Coalesced uint64 // frames that joined an existing aggregate
+
+	FlushLimit    uint64 // aggregates closed by reaching the Limit
+	FlushMismatch uint64 // closed by a non-matching same-flow frame
+	FlushIdle     uint64 // closed by FlushAll (queue went empty)
+	FlushEvict    uint64 // closed by table eviction
+
+	// Pass-through reasons (§3.1 rule failures).
+	RejNonIP, RejBadIPCsum, RejNoCsumOffload uint64
+	RejIPOptions, RejFragment, RejNotTCP     uint64
+	RejFlags, RejOtherOptions, RejZeroLen    uint64
+	RejMalformed                             uint64
+}
+
+// pending is a partially aggregated packet.
+type pending struct {
+	key     FlowKey
+	skb     *buf.SKB
+	count   int
+	nextSeq uint32 // expected sequence number of the next frame
+	lastAck uint32
+	lastWin uint16
+	lastTS  uint32 // TSVal of the last fragment
+	lastTSE uint32 // TSEcr of the last fragment
+	hasTS   bool   // header layout: timestamp option present
+	l4off   int    // TCP header offset within skb.Head
+	dataOff int    // TCP header length
+}
+
+// Engine is the Receive Aggregation engine for one CPU.
+type Engine struct {
+	cfg    Config
+	meter  *cycles.Meter
+	params *cost.Params
+	alloc  *buf.Allocator
+
+	// Out delivers host packets (aggregated or passed-through) to the
+	// network stack. Must be set before Input is called.
+	Out func(*buf.SKB)
+
+	table map[FlowKey]*pending
+	order []FlowKey // insertion order for eviction and FlushAll
+
+	stats Stats
+}
+
+// New creates an engine charging m under p.
+func New(cfg Config, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) (*Engine, error) {
+	if cfg.Limit <= 0 {
+		return nil, fmt.Errorf("aggregate: Limit %d must be positive", cfg.Limit)
+	}
+	if cfg.TableSize <= 0 {
+		return nil, fmt.Errorf("aggregate: TableSize %d must be positive", cfg.TableSize)
+	}
+	if m == nil || p == nil || alloc == nil {
+		return nil, fmt.Errorf("aggregate: nil dependency")
+	}
+	return &Engine{
+		cfg:    cfg,
+		meter:  m,
+		params: p,
+		alloc:  alloc,
+		table:  make(map[FlowKey]*pending, cfg.TableSize),
+	}, nil
+}
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// PendingFlows returns the number of partially aggregated packets held.
+func (e *Engine) PendingFlows() int { return len(e.table) }
+
+// Input consumes one raw frame from the aggregation queue. This is where
+// the early demultiplexing happens: the engine takes the compulsory cache
+// miss on the frame header and performs the MAC processing the driver
+// skipped (§3.5, §5.1).
+func (e *Engine) Input(f nic.Frame) {
+	e.stats.FramesIn++
+	e.meter.Charge(cycles.Aggr,
+		e.params.AggrPerFrame+e.params.MACProcFixed+e.params.Mem.HeaderTouchCost())
+
+	frame := f.Data
+	eh, err := ether.Parse(frame)
+	if err != nil || eh.Type != ether.TypeIPv4 {
+		e.stats.RejNonIP++
+		e.passthrough(f)
+		return
+	}
+	l3 := frame[ether.HeaderLen:]
+	// §3.1: only the IP header checksum is verified in software; the TCP
+	// checksum must have been validated by the NIC.
+	if !ipv4.VerifyChecksum(l3) {
+		e.stats.RejBadIPCsum++
+		e.passthrough(f)
+		return
+	}
+	ih, err := ipv4.Parse(l3)
+	if err != nil {
+		e.stats.RejMalformed++
+		e.passthrough(f)
+		return
+	}
+	if ih.Proto != ipv4.ProtoTCP {
+		e.stats.RejNotTCP++
+		e.passthrough(f)
+		return
+	}
+
+	seg := l3[ih.IHL:ih.TotalLen]
+	th, err := tcpwire.Parse(seg)
+	if err != nil {
+		e.stats.RejMalformed++
+		e.passthrough(f)
+		return
+	}
+	key := FlowKey{Src: ih.Src, Dst: ih.Dst, SrcPort: th.SrcPort, DstPort: th.DstPort}
+
+	reason := e.eligible(f, &ih, &th)
+	if reason != nil {
+		*reason++
+		// In-order delivery within the flow (§3.1): flush any pending
+		// aggregate of this connection before the ineligible frame.
+		if p, ok := e.table[key]; ok {
+			e.stats.FlushMismatch++
+			e.finalize(p)
+		}
+		e.passthrough(f)
+		return
+	}
+
+	payloadLen := ih.TotalLen - ih.IHL - th.DataOff
+	payload := seg[th.DataOff : th.DataOff+payloadLen]
+
+	if p, ok := e.table[key]; ok {
+		if e.matches(p, &th) {
+			e.alloc.AttachFrag(p.skb, buf.Frag{Data: payload, Ack: th.Ack, TSVal: th.TSVal})
+			p.count++
+			p.nextSeq = th.Seq + uint32(payloadLen)
+			p.lastAck = th.Ack
+			p.lastWin = th.Window
+			p.lastTS = th.TSVal
+			p.lastTSE = th.TSEcr
+			e.stats.Coalesced++
+			if p.count >= e.cfg.Limit {
+				e.stats.FlushLimit++
+				e.finalize(p)
+			}
+			return
+		}
+		// Same flow, not in sequence (retransmission, gap, ACK
+		// regression): deliver the pending aggregate first, then
+		// start fresh with this frame (§3.1 ordering guarantee).
+		e.stats.FlushMismatch++
+		e.finalize(p)
+	}
+	e.start(key, f, &ih, &th, payloadLen)
+}
+
+// eligible applies the §3.1 frame-local rules, returning a pointer to the
+// rejection counter to bump, or nil if the frame can aggregate.
+func (e *Engine) eligible(f nic.Frame, ih *ipv4.Header, th *tcpwire.Header) *uint64 {
+	switch {
+	case !f.RxCsumOK:
+		// Covers both "NIC lacks receive checksum offload" and "the
+		// offload flagged a bad TCP checksum": aggregation is skipped
+		// either way and the stack handles validation/drop.
+		return &e.stats.RejNoCsumOffload
+	case ih.HasOptions():
+		return &e.stats.RejIPOptions
+	case ih.IsFragment():
+		return &e.stats.RejFragment
+	case th.Flags&^(tcpwire.FlagACK|tcpwire.FlagPSH) != 0:
+		return &e.stats.RejFlags
+	case th.OtherOptions:
+		return &e.stats.RejOtherOptions
+	case ih.TotalLen-ih.IHL-th.DataOff <= 0:
+		// Zero-length packets (pure ACKs, duplicate ACKs) are never
+		// aggregated (§3.1, §3.6 example 3).
+		return &e.stats.RejZeroLen
+	}
+	return nil
+}
+
+// matches reports whether a frame continues the pending aggregate: next in
+// sequence, ACK number monotone, and the same options layout (§3.1-3.2).
+func (e *Engine) matches(p *pending, th *tcpwire.Header) bool {
+	if p.count >= e.cfg.Limit {
+		return false
+	}
+	if th.Seq != p.nextSeq {
+		return false
+	}
+	if !seqGEQ(th.Ack, p.lastAck) {
+		return false
+	}
+	if th.HasTimestamp != p.hasTS {
+		return false
+	}
+	return true
+}
+
+// start opens a new pending aggregate seeded with this frame.
+func (e *Engine) start(key FlowKey, f nic.Frame, ih *ipv4.Header, th *tcpwire.Header, payloadLen int) {
+	skb := e.alloc.NewData(f.Data, ether.HeaderLen)
+	skb.CsumVerified = true
+	skb.FirstAck = th.Ack
+	p := &pending{
+		key:     key,
+		skb:     skb,
+		count:   1,
+		nextSeq: th.Seq + uint32(payloadLen),
+		lastAck: th.Ack,
+		lastWin: th.Window,
+		lastTS:  th.TSVal,
+		lastTSE: th.TSEcr,
+		hasTS:   th.HasTimestamp,
+		l4off:   ether.HeaderLen + ih.IHL,
+		dataOff: th.DataOff,
+	}
+	if e.cfg.Limit == 1 {
+		// Degenerate configuration: deliver immediately (§5.5).
+		e.stats.FlushLimit++
+		e.deliver(p)
+		return
+	}
+	if len(e.table) >= e.cfg.TableSize {
+		e.evictOldest()
+	}
+	if len(e.order) > 4*e.cfg.TableSize {
+		e.compactOrder()
+	}
+	e.table[key] = p
+	e.order = append(e.order, key)
+}
+
+// compactOrder drops stale entries (keys already flushed) so the order
+// slice stays bounded even when the aggregation queue never runs empty.
+func (e *Engine) compactOrder() {
+	live := e.order[:0]
+	seen := make(map[FlowKey]bool, len(e.table))
+	for _, k := range e.order {
+		if _, ok := e.table[k]; ok && !seen[k] {
+			seen[k] = true
+			live = append(live, k)
+		}
+	}
+	e.order = live
+}
+
+// evictOldest flushes the longest-pending aggregate to bound the table.
+func (e *Engine) evictOldest() {
+	for len(e.order) > 0 {
+		k := e.order[0]
+		e.order = e.order[1:]
+		if p, ok := e.table[k]; ok {
+			e.stats.FlushEvict++
+			delete(e.table, k)
+			e.deliver(p)
+			return
+		}
+	}
+}
+
+// FlushAll delivers every pending aggregate. The softirq loop calls it the
+// moment the aggregation queue runs empty, which is what keeps the scheme
+// work-conserving (§3.3, §3.5): packets never wait while the stack idles.
+func (e *Engine) FlushAll() {
+	for _, k := range e.order {
+		if p, ok := e.table[k]; ok {
+			e.stats.FlushIdle++
+			delete(e.table, k)
+			e.deliver(p)
+		}
+	}
+	e.order = e.order[:0]
+}
+
+// finalize removes p from the table and delivers it.
+func (e *Engine) finalize(p *pending) {
+	delete(e.table, p.key)
+	e.deliver(p)
+}
+
+// deliver rewrites the aggregate header if needed and hands the host packet
+// to the stack. The per-aggregate cost (header rewrite, incremental IP
+// checksum, fragment bookkeeping) applies only to real aggregates: a
+// single-packet delivery is passed through untouched, which is what keeps
+// an Aggregation Limit of 1 cost-neutral versus the baseline (§5.5).
+func (e *Engine) deliver(p *pending) {
+	skb := p.skb
+	if p.count > 1 {
+		e.meter.Charge(cycles.Aggr, e.params.AggrPerAggregate)
+		e.rewriteHeader(p)
+		skb.Aggregated = true
+	}
+	e.stats.HostOut++
+	if e.Out == nil {
+		panic("aggregate: Out not wired")
+	}
+	e.Out(skb)
+}
+
+// rewriteHeader performs the §3.2 rewrite on the head frame in place:
+//
+//   - IP total length covers all coalesced payload (incremental checksum
+//     update, so the IP header stays valid);
+//   - TCP ACK number, window and timestamps come from the last fragment;
+//   - the TCP checksum is NOT recomputed — the packet is marked as
+//     NIC-verified instead, exactly as the paper specifies.
+func (e *Engine) rewriteHeader(p *pending) {
+	skb := p.skb
+	l3 := skb.Head[skb.L3Offset:]
+	ihl := p.l4off - skb.L3Offset
+	totalPayload := 0
+	// Head payload length:
+	headIPLen := int(binary.BigEndian.Uint16(l3[2:4]))
+	totalPayload += headIPLen - ihl - p.dataOff
+	for i := range skb.Frags {
+		totalPayload += len(skb.Frags[i].Data)
+	}
+	if err := ipv4.SetTotalLen(l3, ihl+p.dataOff+totalPayload); err != nil {
+		panic(fmt.Sprintf("aggregate: header rewrite: %v", err))
+	}
+	tcp := skb.Head[p.l4off:]
+	binary.BigEndian.PutUint32(tcp[tcpwire.OffAck:], p.lastAck)
+	binary.BigEndian.PutUint16(tcp[tcpwire.OffWindow:], p.lastWin)
+	if p.hasTS && p.dataOff >= tcpwire.TimestampHeaderLen {
+		binary.BigEndian.PutUint32(tcp[tcpwire.OffTSVal:], p.lastTS)
+		binary.BigEndian.PutUint32(tcp[tcpwire.OffTSEcr:], p.lastTSE)
+	}
+}
+
+// passthrough wraps an ineligible frame in an SKB and delivers it
+// unmodified (§3.1: no reordering, no modification).
+func (e *Engine) passthrough(f nic.Frame) {
+	skb := e.alloc.NewData(f.Data, ether.HeaderLen)
+	skb.CsumVerified = f.RxCsumOK
+	e.stats.HostOut++
+	if e.Out == nil {
+		panic("aggregate: Out not wired")
+	}
+	e.Out(skb)
+}
+
+// seqGEQ is wraparound-safe sequence comparison (a >= b).
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }

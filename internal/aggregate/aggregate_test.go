@@ -1,0 +1,463 @@
+package aggregate
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/ipv4"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/tcpwire"
+)
+
+type env struct {
+	eng   *Engine
+	meter *cycles.Meter
+	alloc *buf.Allocator
+	out   []*buf.SKB
+	p     cost.Params
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	e := &env{p: cost.NativeUP()}
+	var m cycles.Meter
+	e.meter = &m
+	e.alloc = buf.NewAllocator(&m, &e.p)
+	eng, err := New(cfg, &m, &e.p, e.alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Out = func(s *buf.SKB) { e.out = append(e.out, s) }
+	e.eng = eng
+	return e
+}
+
+func (e *env) freeOut() {
+	for _, s := range e.out {
+		e.alloc.Free(s)
+	}
+	e.out = nil
+}
+
+// flowFrame builds an in-sequence data frame for the canonical test flow.
+func flowFrame(seq, ack uint32, payloadLen int, mutate func(*packet.TCPSpec)) nic.Frame {
+	spec := packet.TCPSpec{
+		SrcIP: ipv4.Addr{10, 0, 0, 1}, DstIP: ipv4.Addr{10, 0, 0, 2},
+		SrcPort: 5001, DstPort: 44000,
+		Seq: seq, Ack: ack,
+		Flags: tcpwire.FlagACK, Window: 65535,
+		HasTS: true, TSVal: 100, TSEcr: 50,
+		Payload: make([]byte, payloadLen),
+	}
+	for i := range spec.Payload {
+		spec.Payload[i] = byte(seq + uint32(i))
+	}
+	if mutate != nil {
+		mutate(&spec)
+	}
+	return nic.Frame{Data: packet.MustBuild(spec), RxCsumOK: true}
+}
+
+// feedRun feeds k in-sequence MSS frames starting at seq 1.
+func feedRun(e *env, k int) {
+	seq := uint32(1)
+	for i := 0; i < k; i++ {
+		e.eng.Input(flowFrame(seq, 1, 1448, nil))
+		seq += 1448
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	var m cycles.Meter
+	p := cost.NativeUP()
+	alloc := buf.NewAllocator(&m, &p)
+	if _, err := New(Config{Limit: 0, TableSize: 10}, &m, &p, alloc); err == nil {
+		t.Error("expected error for zero limit")
+	}
+	if _, err := New(Config{Limit: 5, TableSize: 0}, &m, &p, alloc); err == nil {
+		t.Error("expected error for zero table")
+	}
+	if _, err := New(DefaultConfig(), nil, &p, alloc); err == nil {
+		t.Error("expected error for nil meter")
+	}
+}
+
+func TestAggregatesUpToLimit(t *testing.T) {
+	e := newEnv(t, Config{Limit: 4, TableSize: 16})
+	feedRun(e, 4)
+	if len(e.out) != 1 {
+		t.Fatalf("host packets = %d, want 1", len(e.out))
+	}
+	skb := e.out[0]
+	if !skb.Aggregated || skb.NetPackets != 4 {
+		t.Errorf("skb: aggregated=%v netpackets=%d", skb.Aggregated, skb.NetPackets)
+	}
+	if len(skb.Frags) != 3 {
+		t.Errorf("frags = %d, want 3", len(skb.Frags))
+	}
+	if !skb.CsumVerified {
+		t.Error("aggregate not marked checksum-verified")
+	}
+	st := e.eng.Stats()
+	if st.FlushLimit != 1 || st.Coalesced != 3 || st.FramesIn != 4 || st.HostOut != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	e.freeOut()
+}
+
+func TestHeaderRewrite(t *testing.T) {
+	e := newEnv(t, Config{Limit: 3, TableSize: 16})
+	// Three frames with advancing acks, windows and timestamps.
+	e.eng.Input(flowFrame(1, 1000, 1448, func(s *packet.TCPSpec) {
+		s.Window = 1000
+		s.TSVal = 111
+	}))
+	e.eng.Input(flowFrame(1449, 2000, 1448, func(s *packet.TCPSpec) {
+		s.Window = 2000
+		s.TSVal = 222
+	}))
+	e.eng.Input(flowFrame(2897, 3000, 1448, func(s *packet.TCPSpec) {
+		s.Window = 3000
+		s.TSVal = 333
+		s.TSEcr = 99
+	}))
+	if len(e.out) != 1 {
+		t.Fatalf("host packets = %d, want 1", len(e.out))
+	}
+	skb := e.out[0]
+	l3 := skb.L3()
+	// The rewritten IP header must checksum correctly and cover all
+	// coalesced payload (§3.2).
+	if !ipv4.VerifyChecksum(l3) {
+		t.Error("rewritten IP header checksum invalid")
+	}
+	ih, err := ipv4.Parse(append(l3[:20:20], make([]byte, 3*1448+32)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 20 + 32 + 3*1448; ih.TotalLen != want {
+		t.Errorf("TotalLen = %d, want %d", ih.TotalLen, want)
+	}
+	// TCP header fields come from the LAST fragment.
+	th, err := tcpwire.Parse(l3[20:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Seq != 1 {
+		t.Errorf("Seq = %d, want first fragment's 1", th.Seq)
+	}
+	if th.Ack != 3000 {
+		t.Errorf("Ack = %d, want last fragment's 3000", th.Ack)
+	}
+	if th.Window != 3000 {
+		t.Errorf("Window = %d, want last fragment's 3000", th.Window)
+	}
+	if th.TSVal != 333 || th.TSEcr != 99 {
+		t.Errorf("timestamps = %d/%d, want last fragment's 333/99", th.TSVal, th.TSEcr)
+	}
+	// Per-fragment ACK metadata preserved in order (§3.2).
+	acks := skb.FragAcks()
+	want := []uint32{1000, 2000, 3000}
+	for i := range want {
+		if acks[i] != want[i] {
+			t.Errorf("FragAcks[%d] = %d, want %d", i, acks[i], want[i])
+		}
+	}
+	e.freeOut()
+}
+
+func TestPayloadBytesPreserved(t *testing.T) {
+	e := newEnv(t, Config{Limit: 3, TableSize: 16})
+	feedRun(e, 3)
+	skb := e.out[0]
+	// Reassemble the byte stream: head payload + fragments.
+	var got bytes.Buffer
+	l3 := skb.L3()
+	got.Write(l3[20+32 : 20+32+1448])
+	for _, f := range skb.Frags {
+		got.Write(f.Data)
+	}
+	want := make([]byte, 3*1448)
+	seq := uint32(1)
+	for i := range want {
+		want[i] = byte(seq + uint32(i%1448))
+		if (i+1)%1448 == 0 {
+			seq += 1448
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("aggregated payload bytes differ from originals (§3.2: no data copy, no loss)")
+	}
+	e.freeOut()
+}
+
+func TestWorkConservingFlush(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16})
+	feedRun(e, 3) // below limit: still pending
+	if len(e.out) != 0 {
+		t.Fatalf("premature delivery: %d", len(e.out))
+	}
+	if e.eng.PendingFlows() != 1 {
+		t.Fatalf("pending flows = %d", e.eng.PendingFlows())
+	}
+	e.eng.FlushAll()
+	if len(e.out) != 1 {
+		t.Fatalf("host packets after flush = %d, want 1", len(e.out))
+	}
+	if e.out[0].NetPackets != 3 {
+		t.Errorf("NetPackets = %d, want 3", e.out[0].NetPackets)
+	}
+	if e.eng.Stats().FlushIdle != 1 {
+		t.Errorf("FlushIdle = %d", e.eng.Stats().FlushIdle)
+	}
+	if e.eng.PendingFlows() != 0 {
+		t.Error("flows still pending after FlushAll")
+	}
+	e.freeOut()
+}
+
+func TestLimitOneDeliversImmediately(t *testing.T) {
+	// §5.5: Aggregation Limit 1 must never hold packets.
+	e := newEnv(t, Config{Limit: 1, TableSize: 16})
+	feedRun(e, 5)
+	if len(e.out) != 5 {
+		t.Fatalf("host packets = %d, want 5", len(e.out))
+	}
+	for _, s := range e.out {
+		if s.Aggregated || s.NetPackets != 1 {
+			t.Error("limit-1 packet marked aggregated")
+		}
+	}
+	if e.eng.PendingFlows() != 0 {
+		t.Error("limit-1 left pending flows")
+	}
+	e.freeOut()
+}
+
+func TestOutOfSequenceFlushesAndRestarts(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16})
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1449, 1, 1448, nil))
+	// Gap: sequence jumps.
+	e.eng.Input(flowFrame(5000, 1, 1448, nil))
+	if len(e.out) != 1 {
+		t.Fatalf("host packets = %d, want 1 (flushed pair)", len(e.out))
+	}
+	if e.out[0].NetPackets != 2 {
+		t.Errorf("flushed aggregate = %d packets, want 2", e.out[0].NetPackets)
+	}
+	if e.eng.Stats().FlushMismatch != 1 {
+		t.Errorf("FlushMismatch = %d", e.eng.Stats().FlushMismatch)
+	}
+	// The out-of-sequence frame starts a new pending aggregate.
+	if e.eng.PendingFlows() != 1 {
+		t.Errorf("pending flows = %d, want 1", e.eng.PendingFlows())
+	}
+	e.eng.FlushAll()
+	e.freeOut()
+}
+
+func TestAckRegressionNotCoalesced(t *testing.T) {
+	// §3.1: a later fragment must have ack >= the previous fragment's.
+	e := newEnv(t, Config{Limit: 20, TableSize: 16})
+	e.eng.Input(flowFrame(1, 5000, 1448, nil))
+	e.eng.Input(flowFrame(1449, 4000, 1448, nil)) // ACK regressed
+	if e.eng.Stats().FlushMismatch != 1 {
+		t.Errorf("FlushMismatch = %d, want 1", e.eng.Stats().FlushMismatch)
+	}
+	if len(e.out) != 1 || e.out[0].NetPackets != 1 {
+		t.Error("regressed-ack frame must not join the aggregate")
+	}
+	e.eng.FlushAll()
+	e.freeOut()
+}
+
+func TestPassthroughRules(t *testing.T) {
+	cases := []struct {
+		name   string
+		frame  nic.Frame
+		reject func(Stats) uint64
+	}{
+		{"no csum offload", func() nic.Frame {
+			f := flowFrame(1, 1, 100, nil)
+			f.RxCsumOK = false
+			return f
+		}(), func(s Stats) uint64 { return s.RejNoCsumOffload }},
+		{"ip options", flowFrame(1, 1, 100, func(s *packet.TCPSpec) {
+			s.IPOptions = []byte{0x94, 0x04, 0, 0}
+		}), func(s Stats) uint64 { return s.RejIPOptions }},
+		{"fragment", flowFrame(1, 1, 100, func(s *packet.TCPSpec) {
+			s.MF = true
+		}), func(s Stats) uint64 { return s.RejFragment }},
+		{"syn flag", flowFrame(1, 1, 100, func(s *packet.TCPSpec) {
+			s.Flags = tcpwire.FlagSYN | tcpwire.FlagACK
+		}), func(s Stats) uint64 { return s.RejFlags }},
+		{"fin flag", flowFrame(1, 1, 100, func(s *packet.TCPSpec) {
+			s.Flags = tcpwire.FlagFIN | tcpwire.FlagACK
+		}), func(s Stats) uint64 { return s.RejFlags }},
+		{"sack option", flowFrame(1, 1, 100, func(s *packet.TCPSpec) {
+			s.RawTCPOptions = []byte{tcpwire.OptSACKPerm, 2, tcpwire.OptNOP, tcpwire.OptNOP}
+		}), func(s Stats) uint64 { return s.RejOtherOptions }},
+		{"pure ack", flowFrame(1, 1, 0, nil),
+			func(s Stats) uint64 { return s.RejZeroLen }},
+		{"bad ip csum", flowFrame(1, 1, 100, func(s *packet.TCPSpec) {
+			s.CorruptIPCsum = true
+		}), func(s Stats) uint64 { return s.RejBadIPCsum }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEnv(t, DefaultConfig())
+			e.eng.Input(tc.frame)
+			if len(e.out) != 1 {
+				t.Fatalf("host packets = %d, want 1 passthrough", len(e.out))
+			}
+			if e.out[0].Aggregated {
+				t.Error("ineligible frame delivered as aggregate")
+			}
+			if got := tc.reject(e.eng.Stats()); got != 1 {
+				t.Errorf("rejection counter = %d, want 1", got)
+			}
+			// Frame must be delivered unmodified.
+			if !bytes.Equal(e.out[0].Head, tc.frame.Data) {
+				t.Error("passthrough frame modified")
+			}
+			e.freeOut()
+		})
+	}
+}
+
+func TestNonIPPassthrough(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	arp := flowFrame(1, 1, 50, nil)
+	arp.Data[12], arp.Data[13] = 0x08, 0x06
+	e.eng.Input(arp)
+	if len(e.out) != 1 || e.eng.Stats().RejNonIP != 1 {
+		t.Error("non-IP frame not passed through")
+	}
+	runt := nic.Frame{Data: make([]byte, 8)}
+	e.eng.Input(runt)
+	if len(e.out) != 2 {
+		t.Error("runt frame not passed through")
+	}
+	e.freeOut()
+}
+
+func TestInOrderDeliveryAcrossIneligibleFrame(t *testing.T) {
+	// §3.1: the pending aggregate must be delivered BEFORE a subsequent
+	// ineligible frame of the same flow.
+	e := newEnv(t, Config{Limit: 20, TableSize: 16})
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1449, 1, 1448, nil))
+	// Pure ACK of the same flow: ineligible, must flush the pair first.
+	e.eng.Input(flowFrame(2897, 1, 0, nil))
+	if len(e.out) != 2 {
+		t.Fatalf("host packets = %d, want 2", len(e.out))
+	}
+	if e.out[0].NetPackets != 2 || e.out[1].NetPackets != 1 {
+		t.Errorf("delivery order wrong: %d then %d packets",
+			e.out[0].NetPackets, e.out[1].NetPackets)
+	}
+	e.freeOut()
+}
+
+func TestMultipleFlowsAggregateIndependently(t *testing.T) {
+	e := newEnv(t, Config{Limit: 4, TableSize: 16})
+	mkFlow := func(port uint16, seq uint32) nic.Frame {
+		return flowFrame(seq, 1, 1448, func(s *packet.TCPSpec) { s.SrcPort = port })
+	}
+	// Interleave two flows; both must aggregate to 4.
+	seqs := map[uint16]uint32{100: 1, 200: 1}
+	for i := 0; i < 8; i++ {
+		port := uint16(100)
+		if i%2 == 1 {
+			port = 200
+		}
+		e.eng.Input(mkFlow(port, seqs[port]))
+		seqs[port] += 1448
+	}
+	if len(e.out) != 2 {
+		t.Fatalf("host packets = %d, want 2", len(e.out))
+	}
+	for _, s := range e.out {
+		if s.NetPackets != 4 {
+			t.Errorf("aggregate = %d packets, want 4", s.NetPackets)
+		}
+	}
+	e.freeOut()
+}
+
+func TestTableEviction(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 2})
+	for port := uint16(1); port <= 3; port++ {
+		e.eng.Input(flowFrame(1, 1, 1448, func(s *packet.TCPSpec) { s.SrcPort = port }))
+	}
+	// Third flow evicts the first (oldest).
+	if e.eng.Stats().FlushEvict != 1 {
+		t.Errorf("FlushEvict = %d, want 1", e.eng.Stats().FlushEvict)
+	}
+	if len(e.out) != 1 {
+		t.Fatalf("host packets = %d, want 1 evicted", len(e.out))
+	}
+	if e.eng.PendingFlows() != 2 {
+		t.Errorf("pending = %d, want 2", e.eng.PendingFlows())
+	}
+	e.eng.FlushAll()
+	e.freeOut()
+}
+
+func TestAggrCycleCharges(t *testing.T) {
+	e := newEnv(t, Config{Limit: 4, TableSize: 16})
+	feedRun(e, 4)
+	perFrame := e.p.AggrPerFrame + e.p.MACProcFixed + e.p.Mem.HeaderTouchCost()
+	want := 4*perFrame + e.p.AggrPerAggregate
+	if got := e.meter.Get(cycles.Aggr); got != want {
+		t.Errorf("aggr charge = %d, want %d", got, want)
+	}
+	// Roughly the paper's 789 cycles/packet for the aggregation routine
+	// (§5.1), dominated by the compulsory header miss.
+	perPkt := float64(e.meter.Get(cycles.Aggr)) / 4
+	if perPkt < 600 || perPkt > 1100 {
+		t.Errorf("aggr cycles/packet = %.0f, paper reports ~789", perPkt)
+	}
+	e.freeOut()
+}
+
+func TestCompactOrderBoundsMemory(t *testing.T) {
+	e := newEnv(t, Config{Limit: 2, TableSize: 4})
+	// Thousands of limit-flushes must not grow the order slice without
+	// bound even though FlushAll never runs.
+	for i := 0; i < 5000; i++ {
+		seq := uint32(1 + i*2896)
+		e.eng.Input(flowFrame(seq, 1, 1448, nil))
+		e.eng.Input(flowFrame(seq+1448, 1, 1448, nil))
+		e.out = e.out[:0] // discard without freeing (throwaway buffers)
+	}
+	if len(e.eng.order) > 4*e.eng.cfg.TableSize+1 {
+		t.Errorf("order slice grew to %d entries", len(e.eng.order))
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	k := FlowKey{Src: ipv4.Addr{1, 2, 3, 4}, Dst: ipv4.Addr{5, 6, 7, 8}, SrcPort: 9, DstPort: 10}
+	if k.String() != "1.2.3.4:9->5.6.7.8:10" {
+		t.Errorf("String() = %q", k.String())
+	}
+}
+
+func TestAggregationAcrossSequenceWrap(t *testing.T) {
+	// Sequence continuity must hold across the 2^32 wrap.
+	e := newEnv(t, Config{Limit: 4, TableSize: 16})
+	seq := uint32(0xFFFFFFFF - 2000)
+	for i := 0; i < 4; i++ {
+		e.eng.Input(flowFrame(seq, 1, 1448, nil))
+		seq += 1448
+	}
+	if len(e.out) != 1 || e.out[0].NetPackets != 4 {
+		t.Fatalf("wrap broke aggregation: %d host packets", len(e.out))
+	}
+	e.freeOut()
+}

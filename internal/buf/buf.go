@@ -1,0 +1,220 @@
+// Package buf provides the packet buffer and metadata structures of the
+// simulated network stack, mirroring the roles of the Linux sk_buff.
+//
+// The paper's profiling (§2.2) shows that most of the buffer-management
+// overhead of the receive path is the *metadata* (sk_buff) management, not
+// the packet memory itself. The optimized path therefore allocates one SKB
+// per aggregated packet instead of one per network frame, and the raw frames
+// the NIC delivers are chained into it as fragments without copying (§3.2,
+// §3.5). This package makes those costs explicit: every allocation, free and
+// fragment attach charges the buffer category of the owning meter.
+package buf
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/cycles"
+)
+
+// Kind distinguishes SKB flavors for cost accounting.
+type Kind int
+
+const (
+	// KindData is a full-size data packet SKB.
+	KindData Kind = iota
+	// KindAck is a small ACK SKB.
+	KindAck
+)
+
+// Frag is one chained fragment of an aggregated packet: the payload bytes
+// of one constituent network frame (§3.2: subsequent TCP fragments retain
+// only their payload).
+type Frag struct {
+	// Data is the fragment payload.
+	Data []byte
+	// Ack is the TCP acknowledgment number carried by the original
+	// network packet, saved for the TCP layer's §3.4 processing.
+	Ack uint32
+	// TSVal is the original packet's timestamp value (kept for tests
+	// asserting the §3.6 timestamp argument).
+	TSVal uint32
+}
+
+// SKB is the packet metadata structure handed through the stack.
+type SKB struct {
+	// Kind is the accounting flavor the SKB was allocated under.
+	Kind Kind
+	// Head is the linear buffer: for received packets the full Ethernet
+	// frame (and, for aggregates, the first constituent frame); for
+	// transmitted packets the full frame to put on the wire.
+	Head []byte
+	// L3Offset is the offset of the IP header within Head.
+	L3Offset int
+	// Frags are the payloads of the second and subsequent aggregated
+	// frames, in sequence order. Empty for ordinary packets.
+	Frags []Frag
+	// FirstAck is the TCP ACK number of the first constituent frame.
+	FirstAck uint32
+	// NetPackets is the number of network frames this SKB represents
+	// (1 for ordinary packets, the aggregation count for aggregates).
+	NetPackets int
+	// Aggregated marks SKBs built by Receive Aggregation.
+	Aggregated bool
+	// CsumVerified marks the transport checksum as already validated
+	// (by NIC offload, propagated through aggregation, §3.2).
+	CsumVerified bool
+	// TemplateAcks, when non-nil, marks this SKB as an ACK template
+	// (paper §4.2): Head holds the first ACK packet and TemplateAcks
+	// holds the ACK numbers of the remaining ACKs to materialize at the
+	// driver.
+	TemplateAcks []uint32
+
+	alloc *Allocator
+	freed bool
+}
+
+// L3 returns the bytes of Head from the IP header onward.
+func (s *SKB) L3() []byte { return s.Head[s.L3Offset:] }
+
+// FragAcks returns the ACK numbers of all constituent frames in order,
+// including the first. For ordinary packets it returns just FirstAck.
+// This is the metadata the modified TCP layer consumes (§3.4).
+func (s *SKB) FragAcks() []uint32 {
+	acks := make([]uint32, 0, 1+len(s.Frags))
+	acks = append(acks, s.FirstAck)
+	for i := range s.Frags {
+		acks = append(acks, s.Frags[i].Ack)
+	}
+	return acks
+}
+
+// TotalPayloadLen returns the TCP payload bytes carried: the first frame's
+// payload (computed by the caller from headers) is not known here, so this
+// sums only the chained fragments; see netstack for full-length accounting.
+func (s *SKB) fragPayloadLen() int {
+	n := 0
+	for i := range s.Frags {
+		n += len(s.Frags[i].Data)
+	}
+	return n
+}
+
+// Stats counts allocator activity; the sim and tests use it to assert the
+// packet-vs-aggregate reduction factors.
+type Stats struct {
+	DataAllocs, DataFrees uint64
+	AckAllocs, AckFrees   uint64
+	FragAttaches          uint64
+	Live                  int64
+}
+
+// Allocator allocates and frees SKBs, charging the buffer category of the
+// owning meter per the cost table. It mirrors the mostly-lock-free Linux
+// slab usage on this path (§2.3): no locked operations are charged even on
+// SMP profiles.
+type Allocator struct {
+	meter  *cycles.Meter
+	params *cost.Params
+	stats  Stats
+	free   []*SKB
+}
+
+// NewAllocator returns an allocator charging m under p.
+func NewAllocator(m *cycles.Meter, p *cost.Params) *Allocator {
+	if m == nil || p == nil {
+		panic("buf: allocator needs meter and params")
+	}
+	return &Allocator{meter: m, params: p}
+}
+
+// NewData allocates a data SKB around the given frame bytes, charging
+// SKBAlloc. l3Offset locates the IP header within head.
+func (a *Allocator) NewData(head []byte, l3Offset int) *SKB {
+	a.meter.Charge(cycles.Buffer, a.params.SKBAlloc)
+	a.stats.DataAllocs++
+	a.stats.Live++
+	s := a.get()
+	s.Kind = KindData
+	s.Head = head
+	s.L3Offset = l3Offset
+	s.NetPackets = 1
+	return s
+}
+
+// NewAck allocates a small ACK SKB, charging AckSKBAlloc.
+func (a *Allocator) NewAck(frame []byte, l3Offset int) *SKB {
+	a.meter.Charge(cycles.Buffer, a.params.AckSKBAlloc)
+	a.stats.AckAllocs++
+	a.stats.Live++
+	s := a.get()
+	s.Kind = KindAck
+	s.Head = frame
+	s.L3Offset = l3Offset
+	s.NetPackets = 1
+	return s
+}
+
+// ChargeFrameBuf charges the per-frame packet-memory management cost
+// (DataBufPerFrame). The NIC's receive buffer is managed once per network
+// frame regardless of aggregation; the driver calls this for every frame.
+func (a *Allocator) ChargeFrameBuf() {
+	a.meter.Charge(cycles.Buffer, a.params.DataBufPerFrame)
+}
+
+// AttachFrag chains a fragment onto an aggregate SKB, charging FragAttach
+// (§3.2: chaining sets fragment pointers; no data copy).
+func (a *Allocator) AttachFrag(s *SKB, f Frag) {
+	if s.freed {
+		panic("buf: AttachFrag on freed SKB")
+	}
+	a.meter.Charge(cycles.Buffer, a.params.FragAttach)
+	a.stats.FragAttaches++
+	s.Frags = append(s.Frags, f)
+	s.NetPackets++
+}
+
+// Free releases the SKB, charging the matching free cost. Double frees
+// panic: they are stack bugs the simulation must surface, not tolerate.
+func (a *Allocator) Free(s *SKB) {
+	if s == nil {
+		return
+	}
+	if s.freed {
+		panic("buf: double free")
+	}
+	switch s.Kind {
+	case KindData:
+		a.meter.Charge(cycles.Buffer, a.params.SKBFree)
+		a.stats.DataFrees++
+	case KindAck:
+		a.meter.Charge(cycles.Buffer, a.params.AckSKBFree)
+		a.stats.AckFrees++
+	default:
+		panic(fmt.Sprintf("buf: free of unknown kind %d", int(s.Kind)))
+	}
+	a.stats.Live--
+	s.freed = true
+	s.Head = nil
+	s.Frags = nil
+	s.TemplateAcks = nil
+	if len(a.free) < 1024 {
+		a.free = append(a.free, s)
+	}
+}
+
+// Stats returns a copy of the allocator's counters.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// get recycles a freed SKB or allocates a new one. Recycling keeps the
+// simulator's Go-level allocation rate flat at high packet rates; it has no
+// bearing on the charged cycle costs.
+func (a *Allocator) get() *SKB {
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free = a.free[:n-1]
+		*s = SKB{alloc: a}
+		return s
+	}
+	return &SKB{alloc: a}
+}

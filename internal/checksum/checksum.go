@@ -1,0 +1,98 @@
+// Package checksum implements the Internet checksum (RFC 1071) and its
+// incremental update (RFC 1624).
+//
+// The receive path uses it to verify and rewrite IP headers when building
+// aggregated packets (paper §3.2), and Acknowledgment Offload uses the
+// incremental form to patch the TCP checksum of each ACK generated from a
+// template without touching the rest of the packet (paper §4.2).
+package checksum
+
+import "encoding/binary"
+
+// Sum computes the one's-complement sum of b folded to 16 bits, without the
+// final complement. Odd-length buffers are padded with a zero byte, as
+// specified by RFC 1071.
+func Sum(b []byte) uint16 {
+	var sum uint32
+	n := len(b) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)&1 != 0 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	return fold(sum)
+}
+
+// Checksum computes the Internet checksum of b: the one's complement of the
+// one's-complement sum.
+func Checksum(b []byte) uint16 {
+	return ^Sum(b)
+}
+
+// Combine adds two partial one's-complement sums (as returned by Sum).
+func Combine(a, b uint16) uint16 {
+	return fold(uint32(a) + uint32(b))
+}
+
+// fold reduces a 32-bit accumulator to 16 bits with end-around carry.
+func fold(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return uint16(sum)
+}
+
+// Verify reports whether a buffer that embeds its own checksum field sums to
+// the all-ones pattern, i.e. checksums correctly (RFC 1071 §4.1).
+func Verify(b []byte) bool {
+	return Sum(b) == 0xffff
+}
+
+// Update16 incrementally updates checksum old when a 16-bit field of the
+// covered data changes from oldVal to newVal, per RFC 1624 (eqn. 3):
+//
+//	HC' = ~(~HC + ~m + m')
+//
+// It returns the new checksum. Using the RFC 1624 form (rather than the
+// original RFC 1071 incremental equation) avoids the -0/+0 ambiguity.
+func Update16(old, oldVal, newVal uint16) uint16 {
+	sum := uint32(^old&0xffff) + uint32(^oldVal&0xffff) + uint32(newVal)
+	return ^fold(sum)
+}
+
+// Update32 incrementally updates checksum old when an aligned 32-bit field
+// changes from oldVal to newVal. TCP sequence and acknowledgment numbers are
+// such fields; this is the core of ACK-template expansion.
+func Update32(old uint16, oldVal, newVal uint32) uint16 {
+	c := Update16(old, uint16(oldVal>>16), uint16(newVal>>16))
+	return Update16(c, uint16(oldVal&0xffff), uint16(newVal&0xffff))
+}
+
+// PseudoHeaderSum computes the partial sum of the TCP/UDP pseudo-header for
+// the given IPv4 addresses, protocol and transport length, for inclusion in
+// a transport checksum.
+func PseudoHeaderSum(src, dst [4]byte, proto uint8, length int) uint16 {
+	var ph [12]byte
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[8] = 0
+	ph[9] = proto
+	binary.BigEndian.PutUint16(ph[10:12], uint16(length))
+	return Sum(ph[:])
+}
+
+// TransportChecksum computes the checksum of a transport segment (header +
+// payload, with its checksum field already zeroed) covered by the IPv4
+// pseudo-header.
+func TransportChecksum(src, dst [4]byte, proto uint8, segment []byte) uint16 {
+	sum := PseudoHeaderSum(src, dst, proto, len(segment))
+	return ^Combine(sum, Sum(segment))
+}
+
+// VerifyTransport reports whether a transport segment with an embedded
+// checksum field verifies under the IPv4 pseudo-header.
+func VerifyTransport(src, dst [4]byte, proto uint8, segment []byte) bool {
+	sum := PseudoHeaderSum(src, dst, proto, len(segment))
+	return Combine(sum, Sum(segment)) == 0xffff
+}

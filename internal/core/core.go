@@ -1,0 +1,116 @@
+// Package core wires the paper's two optimizations into the receive path:
+// it owns the per-CPU lock-free aggregation queue that the raw-mode driver
+// produces into, drives the Receive Aggregation engine from softirq
+// context, and enforces the work-conserving contract of §3.3/§3.5 — the
+// moment the queue runs empty, every partially aggregated packet is flushed
+// to the stack so that no packet ever waits while the stack is idle.
+//
+// Acknowledgment Offload needs no pump of its own: templates are built by
+// the TCP layer (internal/tcp) and expanded by the driver
+// (internal/driver, internal/ackoff); this package's role there is the
+// configuration knob that enables it alongside aggregation (§4.3: the two
+// are designed to be used together, since aggregation is what creates the
+// batched ACK opportunity).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aggregate"
+	"repro/internal/buf"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/nic"
+	"repro/internal/softirq"
+)
+
+// Options selects the optimized receive path's parameters.
+type Options struct {
+	// Aggregation configures the Receive Aggregation engine.
+	Aggregation aggregate.Config
+	// AckOffload enables ACK template generation in the TCP layer.
+	AckOffload bool
+	// QueueCapacity sizes the raw aggregation queue (frames).
+	QueueCapacity int
+}
+
+// DefaultOptions mirrors the paper's evaluated configuration: Aggregation
+// Limit 20 with ACK offload on.
+func DefaultOptions() Options {
+	return Options{
+		Aggregation:   aggregate.DefaultConfig(),
+		AckOffload:    true,
+		QueueCapacity: 4096,
+	}
+}
+
+// ReceivePath is the optimized softirq receive path for one CPU.
+type ReceivePath struct {
+	opts   Options
+	queue  *softirq.Ring[nic.Frame]
+	engine *aggregate.Engine
+}
+
+// New builds a receive path delivering host packets to out.
+func New(opts Options, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator,
+	out func(*buf.SKB)) (*ReceivePath, error) {
+	if out == nil {
+		return nil, fmt.Errorf("core: out must not be nil")
+	}
+	if opts.QueueCapacity <= 0 {
+		return nil, fmt.Errorf("core: QueueCapacity %d must be positive", opts.QueueCapacity)
+	}
+	q, err := softirq.NewRing[nic.Frame](opts.QueueCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	eng, err := aggregate.New(opts.Aggregation, m, p, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	eng.Out = out
+	return &ReceivePath{opts: opts, queue: q, engine: eng}, nil
+}
+
+// Options returns the path's configuration.
+func (rp *ReceivePath) Options() Options { return rp.opts }
+
+// Engine exposes the aggregation engine (stats, tests).
+func (rp *ReceivePath) Engine() *aggregate.Engine { return rp.engine }
+
+// EnqueueRaw is the driver-side producer (interrupt context): it drops the
+// raw frame into the per-CPU aggregation queue. It reports false when the
+// queue is full, in which case the driver counts a drop — the same
+// behaviour as a softirq backlog overflow in Linux.
+func (rp *ReceivePath) EnqueueRaw(f nic.Frame) bool {
+	return rp.queue.Push(f)
+}
+
+// QueueLen returns the number of raw frames awaiting aggregation.
+func (rp *ReceivePath) QueueLen() int { return rp.queue.Len() }
+
+// Process consumes up to budget raw frames from the queue through the
+// aggregation engine. When the queue runs empty — before or at the budget —
+// all partial aggregates are flushed (work conservation, §3.5): control
+// returns with nothing pending unless the budget was exhausted first.
+//
+// It returns the number of frames consumed.
+func (rp *ReceivePath) Process(budget int) int {
+	n := 0
+	for n < budget {
+		f, ok := rp.queue.Pop()
+		if !ok {
+			break
+		}
+		rp.engine.Input(f)
+		n++
+	}
+	if rp.queue.Empty() {
+		rp.engine.FlushAll()
+	}
+	return n
+}
+
+// Flush forces delivery of all partial aggregates regardless of queue
+// state (used at shutdown and by tests).
+func (rp *ReceivePath) Flush() { rp.engine.FlushAll() }

@@ -1,0 +1,205 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testParams(mode PrefetchMode) Params {
+	return Params{
+		LineSize:         64,
+		DRAMLatency:      300,
+		PrefetchedHit:    20,
+		StrideTrainLines: 2,
+		StoreCost:        30,
+		Mode:             mode,
+	}
+}
+
+func TestPrefetchModeString(t *testing.T) {
+	cases := map[PrefetchMode]string{
+		PrefetchNone:    "None",
+		PrefetchPartial: "Partial",
+		PrefetchFull:    "Full",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+	if got := PrefetchMode(9).String(); got != "PrefetchMode(9)" {
+		t.Errorf("invalid mode String() = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := testParams(PrefetchFull)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero line size", func(p *Params) { p.LineSize = 0 }},
+		{"zero dram", func(p *Params) { p.DRAMLatency = 0 }},
+		{"zero prefetched hit", func(p *Params) { p.PrefetchedHit = 0 }},
+		{"hit above dram", func(p *Params) { p.PrefetchedHit = 301 }},
+		{"negative train", func(p *Params) { p.StrideTrainLines = -1 }},
+		{"bad mode", func(p *Params) { p.Mode = PrefetchMode(7) }},
+	}
+	for _, tc := range cases {
+		p := good
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestLines(t *testing.T) {
+	p := testParams(PrefetchFull)
+	cases := []struct{ bytes, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}, {1448, 23}, {1500, 24},
+	}
+	for _, tc := range cases {
+		if got := p.Lines(tc.bytes); got != tc.want {
+			t.Errorf("Lines(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestSequentialReadCostNone(t *testing.T) {
+	p := testParams(PrefetchNone)
+	// 23 lines, each a full DRAM miss.
+	if got, want := p.SequentialReadCost(1448), uint64(23*300); got != want {
+		t.Errorf("None read cost = %d, want %d", got, want)
+	}
+}
+
+func TestSequentialReadCostPartial(t *testing.T) {
+	p := testParams(PrefetchPartial)
+	// 23 lines: 12 misses + 11 buddy hits.
+	want := uint64(12*300 + 11*20)
+	if got := p.SequentialReadCost(1448); got != want {
+		t.Errorf("Partial read cost = %d, want %d", got, want)
+	}
+}
+
+func TestSequentialReadCostFull(t *testing.T) {
+	p := testParams(PrefetchFull)
+	// 23 lines: 2 training misses + 21 prefetched hits.
+	want := uint64(2*300 + 21*20)
+	if got := p.SequentialReadCost(1448); got != want {
+		t.Errorf("Full read cost = %d, want %d", got, want)
+	}
+}
+
+func TestSequentialReadTinyBuffer(t *testing.T) {
+	// A buffer shorter than the training window must not go negative.
+	p := testParams(PrefetchFull)
+	if got, want := p.SequentialReadCost(64), uint64(300); got != want {
+		t.Errorf("1-line read = %d, want %d", got, want)
+	}
+	if got := p.SequentialReadCost(0); got != 0 {
+		t.Errorf("0-byte read = %d, want 0", got)
+	}
+}
+
+func TestPrefetchOrdering(t *testing.T) {
+	// The whole point of Figure 1: None > Partial > Full for streams.
+	n := 1448
+	none := testParams(PrefetchNone).SequentialReadCost(n)
+	partial := testParams(PrefetchPartial).SequentialReadCost(n)
+	full := testParams(PrefetchFull).SequentialReadCost(n)
+	if !(none > partial && partial > full) {
+		t.Errorf("expected None(%d) > Partial(%d) > Full(%d)", none, partial, full)
+	}
+}
+
+func TestRandomTouchUnaffectedByPrefetch(t *testing.T) {
+	// Pointer chasing gains nothing from prefetching.
+	for _, mode := range []PrefetchMode{PrefetchNone, PrefetchPartial, PrefetchFull} {
+		p := testParams(mode)
+		if got, want := p.RandomTouchCost(4), uint64(4*300); got != want {
+			t.Errorf("mode %v: RandomTouchCost = %d, want %d", mode, got, want)
+		}
+	}
+	if got := testParams(PrefetchFull).RandomTouchCost(0); got != 0 {
+		t.Errorf("0-line touch = %d, want 0", got)
+	}
+	if got := testParams(PrefetchFull).RandomTouchCost(-3); got != 0 {
+		t.Errorf("negative-line touch = %d, want 0", got)
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	p := testParams(PrefetchFull)
+	want := p.SequentialReadCost(1448) + p.SequentialWriteCost(1448)
+	if got := p.CopyCost(1448); got != want {
+		t.Errorf("CopyCost = %d, want %d", got, want)
+	}
+}
+
+func TestChecksumCostEqualsRead(t *testing.T) {
+	p := testParams(PrefetchPartial)
+	if p.ChecksumCost(1000) != p.SequentialReadCost(1000) {
+		t.Error("checksum cost must equal a streaming read")
+	}
+}
+
+func TestHeaderTouchCost(t *testing.T) {
+	p := testParams(PrefetchFull)
+	if got, want := p.HeaderTouchCost(), uint64(2*300); got != want {
+		t.Errorf("HeaderTouchCost = %d, want %d", got, want)
+	}
+}
+
+func TestWithMode(t *testing.T) {
+	p := testParams(PrefetchNone)
+	q := p.WithMode(PrefetchFull)
+	if q.Mode != PrefetchFull {
+		t.Error("WithMode did not set mode")
+	}
+	if p.Mode != PrefetchNone {
+		t.Error("WithMode mutated receiver")
+	}
+	if q.DRAMLatency != p.DRAMLatency {
+		t.Error("WithMode changed cost constants")
+	}
+}
+
+// Property: sequential read cost is monotone in buffer size and never
+// exceeds the no-prefetch bound (lines * DRAMLatency).
+func TestSequentialCostBounds_Quick(t *testing.T) {
+	f := func(sz uint16, mode uint8) bool {
+		p := testParams(PrefetchMode(int(mode) % 3))
+		n := int(sz)
+		cost := p.SequentialReadCost(n)
+		upper := uint64(p.Lines(n)) * p.DRAMLatency
+		lower := uint64(p.Lines(n)) * p.PrefetchedHit
+		if cost > upper {
+			return false
+		}
+		if n > 0 && cost < lower {
+			return false
+		}
+		// Monotonicity in size.
+		return p.SequentialReadCost(n+64) >= cost
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: copy cost decomposes as read + write in every mode.
+func TestCopyDecomposition_Quick(t *testing.T) {
+	f := func(sz uint16, mode uint8) bool {
+		p := testParams(PrefetchMode(int(mode) % 3))
+		n := int(sz)
+		return p.CopyCost(n) == p.SequentialReadCost(n)+p.SequentialWriteCost(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

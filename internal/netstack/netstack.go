@@ -1,0 +1,199 @@
+// Package netstack glues the stack layers together: IP receive processing,
+// demultiplexing of host packets to TCP endpoints, the non-protocol
+// per-packet work the paper's profiles single out (softirq packet movement,
+// netfilter hooks, socket wakeups — the non-proto category of §2.2), and
+// the IP/queue transmit path for ACKs.
+//
+// The aggregation win for this layer is structural: everything charged here
+// is per *host* packet, so a 20-fragment aggregate pays these costs once
+// where the baseline pays them twenty times.
+package netstack
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/ipv4"
+	"repro/internal/tcp"
+	"repro/internal/tcpwire"
+)
+
+// FlowKey identifies a connection by the packet's own addressing (source =
+// remote peer, destination = local endpoint).
+type FlowKey struct {
+	Src, Dst         ipv4.Addr
+	SrcPort, DstPort uint16
+}
+
+// Transmitter consumes outgoing SKBs (normally the NIC driver).
+type Transmitter interface {
+	Transmit(*buf.SKB)
+}
+
+// Stats counts stack activity.
+type Stats struct {
+	HostPacketsIn  uint64
+	NetPacketsIn   uint64
+	NoSocket       uint64
+	BadChecksum    uint64
+	Malformed      uint64
+	HostPacketsOut uint64
+	SoftCsumVerify uint64
+}
+
+// Stack is one network namespace: an IP layer with a TCP demux table.
+type Stack struct {
+	meter  *cycles.Meter
+	params *cost.Params
+	alloc  *buf.Allocator
+
+	// Tx transmits outgoing host packets; must be set before endpoints
+	// send.
+	Tx Transmitter
+	// ExtraRxPerPacket charges an additional per-host-packet non-proto
+	// cost on receive (the Xen guest uses it for its side of the
+	// paravirtual plumbing accounting; zero natively).
+	ExtraRxPerPacket uint64
+
+	conns map[FlowKey]*tcp.Endpoint
+	stats Stats
+}
+
+// New creates an empty stack charging m under p.
+func New(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) *Stack {
+	if m == nil || p == nil || alloc == nil {
+		panic("netstack: nil dependency")
+	}
+	return &Stack{
+		meter:  m,
+		params: p,
+		alloc:  alloc,
+		conns:  make(map[FlowKey]*tcp.Endpoint),
+	}
+}
+
+// Stats returns a copy of the stack counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// Register adds an endpoint to the demux table under the key incoming
+// packets for it will carry.
+func (s *Stack) Register(ep *tcp.Endpoint, remoteIP, localIP ipv4.Addr, remotePort, localPort uint16) error {
+	k := FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
+	if _, dup := s.conns[k]; dup {
+		return fmt.Errorf("netstack: duplicate registration for %v:%d->%v:%d",
+			remoteIP, remotePort, localIP, localPort)
+	}
+	s.conns[k] = ep
+	ep.Output = s.Output
+	return nil
+}
+
+// Unregister removes the endpoint bound to the given key.
+func (s *Stack) Unregister(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16) {
+	delete(s.conns, FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort})
+}
+
+// Endpoints returns the number of registered endpoints.
+func (s *Stack) Endpoints() int { return len(s.conns) }
+
+// Input receives one host packet (plain or aggregated SKB) from the driver
+// or the aggregation engine, runs IP receive processing and the non-proto
+// per-packet work, and delivers a tcp.Segment to the owning endpoint. The
+// SKB is freed here on error paths; on success the endpoint frees it.
+func (s *Stack) Input(skb *buf.SKB) {
+	s.stats.HostPacketsIn++
+	s.stats.NetPacketsIn += uint64(skb.NetPackets)
+
+	// Non-protocol per-host-packet work: softirq handoff, netfilter
+	// hooks, socket wakeup accounting (§2.2), plus SMP locking.
+	s.meter.Charge(cycles.NonProto,
+		s.params.SoftirqPerPacket+s.params.NetfilterPerPacket+s.params.NonProtoOther+
+			s.params.LockCost(s.params.NonProtoLockOps)+s.ExtraRxPerPacket)
+	// IP receive processing.
+	s.meter.Charge(cycles.Rx, s.params.IPRxFixed)
+
+	l3 := skb.L3()
+	// Header-only parse: an aggregate's rewritten total length covers
+	// payload chained in fragments beyond the linear buffer.
+	ih, err := ipv4.ParseHeaderOnly(l3)
+	if err != nil || ih.Proto != ipv4.ProtoTCP {
+		s.stats.Malformed++
+		s.alloc.Free(skb)
+		return
+	}
+	segEnd := ih.TotalLen
+	if segEnd > len(l3) {
+		if !skb.Aggregated {
+			s.stats.Malformed++
+			s.alloc.Free(skb)
+			return
+		}
+		segEnd = len(l3)
+	}
+	seg := l3[ih.IHL:segEnd]
+	th, err := tcpwire.Parse(seg)
+	if err != nil {
+		s.stats.Malformed++
+		s.alloc.Free(skb)
+		return
+	}
+
+	// Software checksum fallback: only when the NIC (or aggregation)
+	// did not already verify. This is the per-byte cost path the paper
+	// assumes away via receive checksum offload (§3.1).
+	if !skb.CsumVerified {
+		s.stats.SoftCsumVerify++
+		s.meter.Charge(cycles.PerByte, s.params.Mem.ChecksumCost(ih.TotalLen-ih.IHL))
+		if !tcpwire.VerifyChecksum(seg, ih.Src, ih.Dst) {
+			s.stats.BadChecksum++
+			s.alloc.Free(skb)
+			return
+		}
+	}
+
+	key := FlowKey{Src: ih.Src, Dst: ih.Dst, SrcPort: th.SrcPort, DstPort: th.DstPort}
+	ep, ok := s.conns[key]
+	if !ok {
+		s.stats.NoSocket++
+		s.alloc.Free(skb)
+		return
+	}
+
+	// Assemble the TCP layer's view: head payload plus chained fragment
+	// payloads, with the per-fragment ACK metadata (§3.2).
+	headPayload := seg[th.DataOff:]
+	payloads := make([][]byte, 0, 1+len(skb.Frags))
+	if len(headPayload) > 0 {
+		payloads = append(payloads, headPayload)
+	}
+	for i := range skb.Frags {
+		payloads = append(payloads, skb.Frags[i].Data)
+	}
+	fragAcks := skb.FragAcks()
+	if !skb.Aggregated {
+		fragAcks = fragAcks[:1]
+		fragAcks[0] = th.Ack
+	}
+	ep.Input(tcp.Segment{
+		Hdr:        th,
+		Payloads:   payloads,
+		FragAcks:   fragAcks,
+		NetPackets: skb.NetPackets,
+		Aggregated: skb.Aggregated,
+		SKB:        skb,
+	})
+}
+
+// Output transmits one host packet from an endpoint: IP transmit processing
+// plus device-queue handling, then the driver. Wired as every registered
+// endpoint's Output.
+func (s *Stack) Output(skb *buf.SKB) {
+	s.stats.HostPacketsOut++
+	s.meter.Charge(cycles.Tx, s.params.IPTxFixed+s.params.TxQueueFixed)
+	if s.Tx == nil {
+		panic("netstack: Tx not wired")
+	}
+	s.Tx.Transmit(skb)
+}

@@ -1,0 +1,179 @@
+package netstack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ipv4"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/tcpwire"
+)
+
+// trafficEvent describes one wire arrival in a randomized scenario.
+type trafficEvent struct {
+	seq     uint32
+	payload []byte
+	pureAck bool
+	sack    bool
+}
+
+// genTraffic builds a randomized but mostly in-order traffic mix: MSS
+// bursts with occasional duplicates, short segments, pure ACKs, and
+// SACK-bearing packets — the conditions under which aggregation must
+// remain transparent (paper §3.6).
+func genTraffic(rng *rand.Rand, bursts int) ([]trafficEvent, []byte) {
+	var events []trafficEvent
+	var stream bytes.Buffer
+	seq := uint32(1)
+	for b := 0; b < bursts; b++ {
+		run := 1 + rng.Intn(30)
+		for i := 0; i < run; i++ {
+			size := 1448
+			if rng.Intn(12) == 0 {
+				size = 1 + rng.Intn(1447) // short segment
+			}
+			payload := make([]byte, size)
+			for j := range payload {
+				payload[j] = byte(seq + uint32(j))
+			}
+			events = append(events, trafficEvent{seq: seq, payload: payload})
+			stream.Write(payload)
+			seq += uint32(size)
+		}
+		switch rng.Intn(4) {
+		case 0:
+			// Duplicate of the last segment.
+			last := events[len(events)-1]
+			events = append(events, trafficEvent{seq: last.seq, payload: last.payload})
+		case 1:
+			events = append(events, trafficEvent{seq: seq, pureAck: true})
+		case 2:
+			// SACK-ish packet with data (other options: passthrough).
+			payload := make([]byte, 100)
+			for j := range payload {
+				payload[j] = byte(seq + uint32(j))
+			}
+			events = append(events, trafficEvent{seq: seq, payload: payload, sack: true})
+			stream.Write(payload)
+			seq += 100
+		}
+	}
+	return events, stream.Bytes()
+}
+
+func injectTraffic(t *testing.T, r *rig, events []trafficEvent) {
+	t.Helper()
+	for i, ev := range events {
+		spec := packet.TCPSpec{
+			SrcIP: senderIP, DstIP: rcvrIP,
+			SrcPort: 5001, DstPort: 44000,
+			Seq: ev.seq, Ack: 1, Flags: tcpwire.FlagACK,
+			Window: 65535, HasTS: true, TSVal: 7,
+			Payload: ev.payload, IPID: uint16(i),
+		}
+		if ev.sack {
+			spec.HasTS = false
+			spec.RawTCPOptions = []byte{tcpwire.OptSACKPerm, 2, tcpwire.OptNOP, tcpwire.OptNOP}
+		}
+		if !r.nic.ReceiveFromWire(nic.Frame{Data: packet.MustBuild(spec)}) {
+			r.pump()
+			if !r.nic.ReceiveFromWire(nic.Frame{Data: packet.MustBuild(spec)}) {
+				t.Fatal("ring overflow even after pump")
+			}
+		}
+		// Pump at random points so batch boundaries vary.
+		if i%17 == 16 {
+			r.pump()
+		}
+	}
+	r.pump()
+}
+
+// TestRandomizedTrafficEquivalence is the adversarial version of the
+// equivalence property: for randomized traffic mixes (dup segments, short
+// segments, pure ACKs, foreign options, arbitrary batch boundaries), the
+// optimized path must deliver the identical byte stream and the identical
+// ACK train as the baseline.
+func TestRandomizedTrafficEquivalence(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		events, wantStream := genTraffic(rng, 6)
+
+		base := newRig(t, false, false)
+		injectTraffic(t, base, events)
+		opt := newRig(t, true, true)
+		injectTraffic(t, opt, events)
+
+		if !bytes.Equal(base.app.Bytes(), wantStream) {
+			t.Fatalf("trial %d: baseline stream diverges from generator", trial)
+		}
+		if !bytes.Equal(opt.app.Bytes(), wantStream) {
+			t.Fatalf("trial %d: optimized stream diverges from generator", trial)
+		}
+		baseAcks := base.ackNumsSent(t)
+		optAcks := opt.ackNumsSent(t)
+		if len(baseAcks) != len(optAcks) {
+			t.Fatalf("trial %d: ack counts differ: %d vs %d",
+				trial, len(baseAcks), len(optAcks))
+		}
+		for i := range baseAcks {
+			if baseAcks[i] != optAcks[i] {
+				t.Fatalf("trial %d: ack[%d] differs: %d vs %d",
+					trial, i, baseAcks[i], optAcks[i])
+			}
+		}
+		if base.alloc.Stats().Live != 0 || opt.alloc.Stats().Live != 0 {
+			t.Fatalf("trial %d: SKB leak (base %d, opt %d)",
+				trial, base.alloc.Stats().Live, opt.alloc.Stats().Live)
+		}
+	}
+}
+
+// TestAckOffloadAloneIsInert verifies the §4.3 dependency: without Receive
+// Aggregation the TCP layer never sees more than one ACK opportunity per
+// packet, so enabling ACK offload on the baseline path produces no
+// templates (and therefore no benefit) — exactly why the paper pairs the
+// two optimizations.
+func TestAckOffloadAloneIsInert(t *testing.T) {
+	r := newRig(t, false /* baseline driver path */, true /* AckOffload on */)
+	r.sendStream(t, 60)
+	r.pump()
+	if got := r.ep.Stats().AckTemplatesOut; got != 0 {
+		t.Errorf("baseline path built %d ACK templates; offload should have nothing to batch", got)
+	}
+	if got := r.ep.Stats().AcksOut; got != 30 {
+		t.Errorf("AcksOut = %d, want 30", got)
+	}
+}
+
+// TestOutOfOrderAcrossAggregationBoundary: a gap inside a would-be
+// aggregate must split it and still reassemble correctly above.
+func TestOutOfOrderAcrossAggregationBoundary(t *testing.T) {
+	mk := func(seq uint32, fill byte, n int) trafficEvent {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = fill
+		}
+		return trafficEvent{seq: seq, payload: p}
+	}
+	// Segments A(1..1449) C(2897..4345) B(1449..2897): C arrives early.
+	events := []trafficEvent{
+		mk(1, 'a', 1448),
+		mk(2897, 'c', 1448),
+		mk(1449, 'b', 1448),
+	}
+	opt := newRig(t, true, true)
+	injectTraffic(t, opt, events)
+	want := append(append(bytes.Repeat([]byte{'a'}, 1448),
+		bytes.Repeat([]byte{'b'}, 1448)...),
+		bytes.Repeat([]byte{'c'}, 1448)...)
+	if !bytes.Equal(opt.app.Bytes(), want) {
+		t.Error("out-of-order traffic reassembled incorrectly through aggregation")
+	}
+	if opt.ep.Stats().OOOSegs == 0 {
+		t.Error("out-of-order segment not detected")
+	}
+	_ = ipv4.Addr{}
+}

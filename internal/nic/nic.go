@@ -1,0 +1,220 @@
+// Package nic models the Gigabit Ethernet NICs of the paper's testbed
+// (Intel e1000-class): receive/transmit descriptor rings, DMA of frames
+// into host memory, receive checksum offload, and interrupt throttling.
+//
+// Receive checksum offload matters beyond realism: Receive Aggregation is
+// only performed when the NIC has already validated the TCP checksum
+// (paper §3.1); if the capability is absent the optimized path must fall
+// back to unaggregated delivery.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/ipv4"
+	"repro/internal/tcpwire"
+)
+
+// Frame is an Ethernet frame in host memory (post-DMA on receive).
+type Frame struct {
+	// Data is the full frame, starting at the Ethernet header.
+	Data []byte
+	// RxCsumOK reports that the NIC validated the transport checksum
+	// (receive checksum offload). Meaningless on transmit.
+	RxCsumOK bool
+}
+
+// Caps describes NIC hardware offload capabilities.
+type Caps struct {
+	// RxCsumOffload: the NIC verifies TCP/IP checksums on receive.
+	RxCsumOffload bool
+	// TxCsumOffload: the NIC computes transport checksums on transmit.
+	TxCsumOffload bool
+}
+
+// Config configures a NIC instance.
+type Config struct {
+	// Name identifies the interface (e.g. "eth0").
+	Name string
+	// RxRingSize is the receive descriptor ring capacity.
+	RxRingSize int
+	// Caps are the hardware offloads.
+	Caps Caps
+	// IntThrottleFrames is the interrupt coalescing threshold: an
+	// interrupt is asserted after this many frames arrive while the
+	// previous interrupt is unacknowledged (1 = interrupt per frame).
+	IntThrottleFrames int
+}
+
+// DefaultConfig mirrors the paper's e1000 setup.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:              name,
+		RxRingSize:        256,
+		Caps:              Caps{RxCsumOffload: true, TxCsumOffload: true},
+		IntThrottleFrames: 8,
+	}
+}
+
+// Stats counts NIC activity.
+type Stats struct {
+	RxFrames, RxDropped uint64
+	TxFrames            uint64
+	Interrupts          uint64
+	CsumGood, CsumBad   uint64
+}
+
+// NIC is one simulated network interface.
+type NIC struct {
+	cfg    Config
+	rxRing []Frame
+	rxHead int // next frame the driver will take
+	rxLen  int
+
+	irqPending     bool
+	framesSinceIRQ int
+
+	// OnInterrupt is invoked when the NIC asserts an interrupt; the
+	// machine uses it to schedule driver processing. May be nil.
+	OnInterrupt func()
+	// OnTransmit receives frames put on the wire. May be nil (frames
+	// are then counted and dropped, useful in unit tests).
+	OnTransmit func(Frame)
+
+	stats Stats
+}
+
+// New creates a NIC from cfg.
+func New(cfg Config) (*NIC, error) {
+	if cfg.RxRingSize <= 0 {
+		return nil, fmt.Errorf("nic %s: RxRingSize %d must be positive", cfg.Name, cfg.RxRingSize)
+	}
+	if cfg.IntThrottleFrames <= 0 {
+		return nil, fmt.Errorf("nic %s: IntThrottleFrames %d must be positive", cfg.Name, cfg.IntThrottleFrames)
+	}
+	return &NIC{
+		cfg:    cfg,
+		rxRing: make([]Frame, cfg.RxRingSize),
+	}, nil
+}
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// Stats returns a copy of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// RxQueueLen returns the number of frames waiting in the receive ring.
+func (n *NIC) RxQueueLen() int { return n.rxLen }
+
+// CanAccept reports whether the receive ring has room for another frame.
+// The link model uses it to apply pause-frame backpressure instead of
+// dropping (DESIGN.md §5.7).
+func (n *NIC) CanAccept() bool { return n.rxLen < len(n.rxRing) }
+
+// ReceiveFromWire DMAs a frame into the receive ring, performing checksum
+// offload validation in "hardware" (no host CPU cycles are charged). It
+// returns false and counts a drop if the ring is full.
+func (n *NIC) ReceiveFromWire(f Frame) bool {
+	if n.rxLen == len(n.rxRing) {
+		n.stats.RxDropped++
+		return false
+	}
+	if n.cfg.Caps.RxCsumOffload {
+		f.RxCsumOK = n.verifyChecksums(f.Data)
+		if f.RxCsumOK {
+			n.stats.CsumGood++
+		} else {
+			n.stats.CsumBad++
+		}
+	} else {
+		f.RxCsumOK = false
+	}
+	n.rxRing[(n.rxHead+n.rxLen)%len(n.rxRing)] = f
+	n.rxLen++
+	n.stats.RxFrames++
+
+	n.framesSinceIRQ++
+	if !n.irqPending && n.framesSinceIRQ >= n.cfg.IntThrottleFrames {
+		n.assertInterrupt()
+	}
+	return true
+}
+
+// FlushInterrupt asserts a pending interrupt immediately if any frames are
+// waiting; the link model calls it when the wire goes idle so coalescing
+// never strands frames (work conservation end to end).
+func (n *NIC) FlushInterrupt() {
+	if !n.irqPending && n.rxLen > 0 {
+		n.assertInterrupt()
+	}
+}
+
+func (n *NIC) assertInterrupt() {
+	n.irqPending = true
+	n.framesSinceIRQ = 0
+	n.stats.Interrupts++
+	if n.OnInterrupt != nil {
+		n.OnInterrupt()
+	}
+}
+
+// AckInterrupt re-arms the interrupt line; the driver calls it when its
+// poll loop drains the ring (NAPI-style).
+func (n *NIC) AckInterrupt() {
+	n.irqPending = false
+	if n.rxLen > 0 && n.framesSinceIRQ >= n.cfg.IntThrottleFrames {
+		n.assertInterrupt()
+	}
+}
+
+// PollRx removes up to max frames from the receive ring (driver side).
+func (n *NIC) PollRx(max int) []Frame {
+	if max <= 0 || n.rxLen == 0 {
+		return nil
+	}
+	take := max
+	if take > n.rxLen {
+		take = n.rxLen
+	}
+	out := make([]Frame, take)
+	for i := 0; i < take; i++ {
+		out[i] = n.rxRing[n.rxHead]
+		n.rxRing[n.rxHead] = Frame{}
+		n.rxHead = (n.rxHead + 1) % len(n.rxRing)
+	}
+	n.rxLen -= take
+	return out
+}
+
+// Transmit puts a frame on the wire.
+func (n *NIC) Transmit(f Frame) {
+	n.stats.TxFrames++
+	if n.OnTransmit != nil {
+		n.OnTransmit(f)
+	}
+}
+
+// verifyChecksums performs the hardware validation of IP and TCP checksums
+// for an IPv4/TCP frame. Non-TCP or malformed frames report false, which
+// simply routes them around aggregation.
+func (n *NIC) verifyChecksums(frame []byte) bool {
+	if len(frame) < ether.HeaderLen+ipv4.MinHeaderLen {
+		return false
+	}
+	eh, err := ether.Parse(frame)
+	if err != nil || eh.Type != ether.TypeIPv4 {
+		return false
+	}
+	l3 := frame[ether.HeaderLen:]
+	if !ipv4.VerifyChecksum(l3) {
+		return false
+	}
+	ih, err := ipv4.Parse(l3)
+	if err != nil || ih.Proto != ipv4.ProtoTCP || ih.IsFragment() {
+		return false
+	}
+	seg := l3[ih.IHL:ih.TotalLen]
+	return tcpwire.VerifyChecksum(seg, ih.Src, ih.Dst)
+}

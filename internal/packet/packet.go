@@ -1,0 +1,174 @@
+// Package packet builds and dissects complete Ethernet/IPv4/TCP frames.
+// It is the single frame-construction path shared by the sender machines,
+// the TCP endpoint's transmit side, and the test suites.
+package packet
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/ipv4"
+	"repro/internal/tcpwire"
+)
+
+// TCPSpec describes one TCP/IPv4/Ethernet frame to build.
+type TCPSpec struct {
+	SrcMAC, DstMAC   ether.Addr
+	SrcIP, DstIP     ipv4.Addr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	HasTS            bool
+	TSVal, TSEcr     uint32
+	Payload          []byte
+	IPID             uint16
+	TTL              uint8
+
+	// Fault/feature injection for tests and rule coverage:
+
+	// IPOptions adds raw IP options (padded to 32 bits).
+	IPOptions []byte
+	// MF/FragOffset mark the packet as an IP fragment.
+	MF         bool
+	FragOffset int
+	// RawTCPOptions overrides the TCP options bytes entirely (length
+	// must be a multiple of 4); HasTS is ignored when set.
+	RawTCPOptions []byte
+	// CorruptTCPCsum flips a bit in the TCP checksum after computing it.
+	CorruptTCPCsum bool
+	// CorruptIPCsum flips a bit in the IP header checksum.
+	CorruptIPCsum bool
+}
+
+// Build serializes the frame described by s.
+func Build(s TCPSpec) ([]byte, error) {
+	th := tcpwire.Header{
+		SrcPort: s.SrcPort,
+		DstPort: s.DstPort,
+		Seq:     s.Seq,
+		Ack:     s.Ack,
+		Flags:   s.Flags,
+		Window:  s.Window,
+	}
+	tcpLen := tcpwire.MinHeaderLen
+	if s.RawTCPOptions != nil {
+		if len(s.RawTCPOptions)%4 != 0 {
+			return nil, fmt.Errorf("packet: TCP options length %d not 32-bit aligned", len(s.RawTCPOptions))
+		}
+		tcpLen += len(s.RawTCPOptions)
+	} else if s.HasTS {
+		th.HasTimestamp = true
+		th.TSVal = s.TSVal
+		th.TSEcr = s.TSEcr
+		tcpLen = tcpwire.TimestampHeaderLen
+	}
+
+	ih := ipv4.Header{
+		IHL:        ipv4.MinHeaderLen + len(s.IPOptions),
+		ID:         s.IPID,
+		DF:         !s.MF && s.FragOffset == 0,
+		MF:         s.MF,
+		FragOffset: s.FragOffset,
+		TTL:        s.TTL,
+		Proto:      ipv4.ProtoTCP,
+		Src:        s.SrcIP,
+		Dst:        s.DstIP,
+		Options:    s.IPOptions,
+	}
+	if ih.TTL == 0 {
+		ih.TTL = 64
+	}
+	ipLen := ih.Len()
+	ih.TotalLen = ipLen + tcpLen + len(s.Payload)
+	if ih.TotalLen > 0xffff {
+		return nil, fmt.Errorf("packet: datagram too large: %d", ih.TotalLen)
+	}
+
+	frame := make([]byte, ether.HeaderLen+ih.TotalLen)
+	eh := ether.Header{Dst: s.DstMAC, Src: s.SrcMAC, Type: ether.TypeIPv4}
+	if err := eh.Put(frame); err != nil {
+		return nil, err
+	}
+	l3 := frame[ether.HeaderLen:]
+	if err := ih.Put(l3); err != nil {
+		return nil, err
+	}
+	seg := l3[ipLen:]
+	if s.RawTCPOptions != nil {
+		base := make([]byte, tcpwire.MinHeaderLen)
+		if err := th.Put(base); err != nil {
+			return nil, err
+		}
+		copy(seg, base)
+		seg[12] = byte(tcpLen/4) << 4
+		copy(seg[tcpwire.MinHeaderLen:], s.RawTCPOptions)
+	} else {
+		if err := th.Put(seg); err != nil {
+			return nil, err
+		}
+	}
+	copy(seg[tcpLen:], s.Payload)
+	if err := tcpwire.SetChecksum(seg, ih.Src, ih.Dst); err != nil {
+		return nil, err
+	}
+	if s.CorruptTCPCsum {
+		seg[tcpwire.OffChecksum] ^= 0x01
+	}
+	if s.CorruptIPCsum {
+		l3[10] ^= 0x01
+	}
+	return frame, nil
+}
+
+// MustBuild is Build for specs known valid at compile time; it panics on
+// error and is intended for tests and fixed-format senders.
+func MustBuild(s TCPSpec) []byte {
+	b, err := Build(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Parsed is a fully dissected TCP frame.
+type Parsed struct {
+	Eth     ether.Header
+	IP      ipv4.Header
+	TCP     tcpwire.Header
+	Payload []byte
+	// L4Offset is the TCP header's offset within the frame.
+	L4Offset int
+}
+
+// Parse dissects a serialized frame built by Build (or received from the
+// simulated wire).
+func Parse(frame []byte) (Parsed, error) {
+	var p Parsed
+	eh, err := ether.Parse(frame)
+	if err != nil {
+		return p, err
+	}
+	if eh.Type != ether.TypeIPv4 {
+		return p, fmt.Errorf("packet: not IPv4: type %#04x", eh.Type)
+	}
+	l3 := frame[ether.HeaderLen:]
+	ih, err := ipv4.Parse(l3)
+	if err != nil {
+		return p, err
+	}
+	if ih.Proto != ipv4.ProtoTCP {
+		return p, fmt.Errorf("packet: not TCP: proto %d", ih.Proto)
+	}
+	seg := l3[ih.IHL:ih.TotalLen]
+	th, err := tcpwire.Parse(seg)
+	if err != nil {
+		return p, err
+	}
+	p.Eth = eh
+	p.IP = ih
+	p.TCP = th
+	p.Payload = seg[th.DataOff:]
+	p.L4Offset = ether.HeaderLen + ih.IHL
+	return p, nil
+}

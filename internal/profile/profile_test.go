@@ -1,0 +1,110 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cycles"
+)
+
+func sampleBreakdown() cycles.Breakdown {
+	var m cycles.Meter
+	m.Charge(cycles.PerByte, 1600)
+	m.Charge(cycles.Rx, 1280)
+	m.Charge(cycles.Tx, 850)
+	m.Charge(cycles.Buffer, 1490)
+	m.Charge(cycles.NonProto, 1020)
+	m.Charge(cycles.Driver, 2115)
+	m.Charge(cycles.Misc, 1600)
+	return m.Snapshot().PerPacket(1)
+}
+
+func TestTable(t *testing.T) {
+	out := Table("Figure 3", sampleBreakdown(), NativeCategories)
+	for _, want := range []string{"Figure 3", "per-byte", "driver", "2115", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "netback") {
+		t.Errorf("Table shows zero category:\n%s", out)
+	}
+}
+
+func TestComparison(t *testing.T) {
+	orig := sampleBreakdown()
+	var m cycles.Meter
+	m.Charge(cycles.Rx, 320)
+	m.Charge(cycles.Driver, 1400)
+	m.Charge(cycles.Aggr, 800)
+	opt := m.Snapshot().PerPacket(1)
+	out := Comparison("Figure 8", "Original", "Optimized", orig, opt, NativeCategories)
+	for _, want := range []string{"Original", "Optimized", "factor", "4.0x", "aggr"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShareLine(t *testing.T) {
+	groups := StandardShareGroups()
+	shares := ShareLine(sampleBreakdown(), groups)
+	if len(shares) != 3 {
+		t.Fatalf("groups = %d", len(shares))
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("shares sum to %.2f", sum)
+	}
+	// per-packet must dominate with full prefetching (paper Figure 2).
+	if shares[1] < shares[0] {
+		t.Errorf("per-packet (%.1f%%) should exceed per-byte (%.1f%%)", shares[1], shares[0])
+	}
+	// Zero breakdown yields all-zero shares.
+	var empty cycles.Meter
+	for _, s := range ShareLine(empty.Snapshot().PerPacket(1), groups) {
+		if s != 0 {
+			t.Error("empty breakdown produced nonzero share")
+		}
+	}
+}
+
+func TestSharesTable(t *testing.T) {
+	groups := StandardShareGroups()
+	rows := []string{"None", "Full"}
+	per := [][]float64{{52.0, 37.0, 11.0}, {14.0, 70.0, 16.0}}
+	out := SharesTable("Figure 1", rows, per, groups)
+	for _, want := range []string{"Figure 1", "None", "Full", "per-byte", "52.0%", "70.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SharesTable missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar("UP", sampleBreakdown(), NativeCategories, 40)
+	if !strings.Contains(out, "#") {
+		t.Errorf("Bar has no bars:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Longest bar belongs to driver (2115).
+	var longest, driverLen int
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > longest {
+			longest = n
+		}
+		if strings.HasPrefix(l, "driver") {
+			driverLen = n
+		}
+	}
+	if driverLen != longest {
+		t.Errorf("driver should have the longest bar:\n%s", out)
+	}
+	// Zero breakdown must not panic.
+	var empty cycles.Meter
+	_ = Bar("empty", empty.Snapshot().PerPacket(1), NativeCategories, 0)
+}

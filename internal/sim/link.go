@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"repro/internal/ether"
+	"repro/internal/nic"
+)
+
+// Link is one full-duplex Gigabit Ethernet segment between a sender
+// machine and one receiver NIC.
+//
+// The forward (data) direction is a pull model: when the wire is free and
+// the receiver ring has headroom, the link asks the sender for its next
+// frame and occupies the wire for the frame's serialization time. When the
+// ring is near-full the link pauses (IEEE 802.3x-style backpressure)
+// instead of dropping — the lossless LAN regime of the paper's testbed
+// (DESIGN.md §5.7). The reverse (ACK) direction is delivered after the
+// propagation delay without rate limiting: ACK volume is under 5% of link
+// capacity and never contends in these workloads.
+type Link struct {
+	sim    *Sim
+	sender *SenderMachine
+	dst    *nic.NIC
+
+	// RateBps is the line rate (default 1 Gb/s).
+	RateBps uint64
+	// DelayNs is the one-way propagation + switching delay.
+	DelayNs uint64
+	// PauseRetryNs is how long a paused link waits before re-checking
+	// ring headroom.
+	PauseRetryNs uint64
+	// RingHeadroom is the occupancy margin that triggers pause: the
+	// link stops when fewer than this many ring slots remain, covering
+	// frames already in flight.
+	RingHeadroom int
+
+	// CorruptOneIn, when positive, flips a payload bit in every Nth
+	// forward frame after serialization — wire corruption the NIC's
+	// checksum offload will catch, driving the receiver's dup-ACK and
+	// the sender's fast-retransmit machinery.
+	CorruptOneIn int
+
+	busy     bool
+	inFlight int
+	fwdCount int
+	stats    LinkStats
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	FramesDelivered uint64
+	BytesDelivered  uint64
+	PauseEvents     uint64
+	IdleEvents      uint64
+	ReverseFrames   uint64
+	Corrupted       uint64
+}
+
+// DefaultLinkDelayNs is the one-way delay used by the experiments. It is
+// calibrated so that the netperf-style request/response benchmark lands
+// near the paper's ~7,900 transactions/s on native Linux (Table 1):
+// 1/7900s = 126.6 us per transaction, of which ~121 us is wire and client
+// time and the rest is receive-path processing.
+const DefaultLinkDelayNs = 61_500
+
+// NewLink wires sender -> dst with default Gigabit parameters.
+func NewLink(s *Sim, sender *SenderMachine, dst *nic.NIC) *Link {
+	l := &Link{
+		sim:          s,
+		sender:       sender,
+		dst:          dst,
+		RateBps:      1_000_000_000,
+		DelayNs:      DefaultLinkDelayNs,
+		PauseRetryNs: 15_000,
+		RingHeadroom: 24,
+	}
+	sender.OnWindowOpen = l.Kick
+	return l
+}
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Kick attempts to start (or resume) forward transmission. Idempotent.
+func (l *Link) Kick() {
+	if l.busy {
+		return
+	}
+	l.transmitNext()
+}
+
+// wireTimeNs returns the serialization time of a frame including preamble,
+// FCS and inter-frame gap.
+func (l *Link) wireTimeNs(frameLen int) uint64 {
+	bits := uint64(frameLen+ether.PerFrameOverhead) * 8
+	return bits * 1_000_000_000 / l.RateBps
+}
+
+// transmitNext pulls one frame if the wire is free and the ring has room.
+func (l *Link) transmitNext() {
+	if l.busy {
+		return
+	}
+	if l.dst.RxQueueLen() >= l.dst.Config().RxRingSize-l.RingHeadroom {
+		// Pause: ring nearly full; hold the wire and retry shortly.
+		// The in-flight margin guarantees no drops between check and
+		// delivery.
+		l.stats.PauseEvents++
+		l.busy = true
+		l.sim.After(l.PauseRetryNs, func() {
+			l.busy = false
+			l.transmitNext()
+		})
+		return
+	}
+	frame := l.sender.NextFrame()
+	if frame == nil {
+		// Window-limited: the sender will Kick when ACKs arrive. If
+		// nothing remains in flight either, flush the NIC's coalesced
+		// interrupt so the tail of a burst is processed immediately
+		// (this is what keeps request/response latency flat, §5.4).
+		l.stats.IdleEvents++
+		if l.inFlight == 0 {
+			l.dst.FlushInterrupt()
+		}
+		return
+	}
+	l.busy = true
+	l.inFlight++
+	wire := l.wireTimeNs(len(frame))
+	// Wire becomes free after serialization; the frame lands at the
+	// receiver one propagation delay later.
+	l.sim.After(wire, func() {
+		l.busy = false
+		l.transmitNext()
+	})
+	l.fwdCount++
+	corrupt := l.CorruptOneIn > 0 && l.fwdCount%l.CorruptOneIn == 0
+	l.sim.After(wire+l.DelayNs, func() {
+		l.stats.FramesDelivered++
+		l.stats.BytesDelivered += uint64(len(frame))
+		l.inFlight--
+		if corrupt && len(frame) > 70 {
+			frame[len(frame)-1] ^= 0x01
+			l.stats.Corrupted++
+		}
+		l.dst.ReceiveFromWire(nic.Frame{Data: frame})
+		if l.inFlight == 0 && !l.busy {
+			l.dst.FlushInterrupt()
+		}
+	})
+}
+
+// DeliverReverse carries a receiver-transmitted frame back to the sender
+// after the propagation delay.
+func (l *Link) DeliverReverse(frame []byte) { l.DeliverReverseDelayed(frame, 0) }
+
+// DeliverReverseDelayed additionally holds the frame for extraNs before it
+// leaves the receiver (CPU processing time of the round that produced it).
+func (l *Link) DeliverReverseDelayed(frame []byte, extraNs uint64) {
+	l.stats.ReverseFrames++
+	l.sim.After(extraNs+l.DelayNs, func() {
+		l.sender.ReceiveFrame(frame)
+	})
+}

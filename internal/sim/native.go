@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/driver"
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/tcp"
+)
+
+// Machine is the interface the simulation drives: implemented by the
+// native receiver below and by xenvirt.Machine.
+type Machine interface {
+	NICs() []*nic.NIC
+	// ProcessRound runs one softirq round with the given per-NIC poll
+	// budget. It returns the number of network frames consumed and
+	// whether any driver exhausted its budget (NAPI keeps such drivers
+	// on the poll list: the CPU must run another round without waiting
+	// for an interrupt).
+	ProcessRound(budget int) (frames int, more bool)
+	// WireInterrupts routes NIC interrupts through the machine's NAPI
+	// poll list to the CPU scheduler's kick function.
+	WireInterrupts(kick func())
+	MeterRef() *cycles.Meter
+	AllocRef() *buf.Allocator
+	ParamsRef() *cost.Params
+	RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error
+	Endpoints() []*tcp.Endpoint
+	HostPacketsIn() uint64
+	NetFramesIn() uint64
+}
+
+// NativeMode selects the native receiver's path configuration.
+type NativeMode int
+
+const (
+	// NativeBaseline is the stock stack.
+	NativeBaseline NativeMode = iota
+	// NativeOptimized enables Receive Aggregation (ACK offload is the
+	// endpoint's AckOffload flag).
+	NativeOptimized
+)
+
+// NativeConfig assembles a native Linux receiver machine.
+type NativeConfig struct {
+	// Params is the machine cost profile (NativeUP, NativeSMP, ...).
+	Params cost.Params
+	// NICCount is the number of Gigabit NICs (the paper uses five).
+	NICCount int
+	// Mode selects baseline or optimized.
+	Mode NativeMode
+	// Aggregation configures the optimized path; zero value uses the
+	// paper's defaults (limit 20).
+	Aggregation core.Options
+	// Clock supplies virtual time.
+	Clock tcp.Clock
+}
+
+// NativeMachine is a native Linux receiver host.
+type NativeMachine struct {
+	Meter  cycles.Meter
+	Params cost.Params
+	Alloc  *buf.Allocator
+	Stack  *netstack.Stack
+
+	cfg      NativeConfig
+	nics     []*nic.NIC
+	drvs     []*driver.Driver
+	rp       *core.ReceivePath
+	eps      []*tcp.Endpoint
+	framesIn uint64
+	polling  []bool // NAPI poll list: NICs with a signaled interrupt
+	wired    bool   // interrupts routed via WireInterrupts
+}
+
+// NewNative assembles a native machine.
+func NewNative(cfg NativeConfig) (*NativeMachine, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.NICCount <= 0 {
+		return nil, fmt.Errorf("sim: NICCount %d must be positive", cfg.NICCount)
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("sim: Clock must be set")
+	}
+	m := &NativeMachine{cfg: cfg, Params: cfg.Params}
+	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
+	m.Stack = netstack.New(&m.Meter, &m.Params, m.Alloc)
+	m.Stack.Tx = nativeRouter{m}
+
+	if cfg.Mode == NativeOptimized {
+		opts := cfg.Aggregation
+		if opts.QueueCapacity == 0 {
+			limit := opts.Aggregation.Limit
+			opts = core.DefaultOptions()
+			if limit > 0 {
+				opts.Aggregation.Limit = limit
+			}
+		}
+		rp, err := core.New(opts, &m.Meter, &m.Params, m.Alloc, m.Stack.Input)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		m.rp = rp
+	}
+
+	for i := 0; i < cfg.NICCount; i++ {
+		ncfg := nic.DefaultConfig(fmt.Sprintf("eth%d", i))
+		ncfg.IntThrottleFrames = 16 // e1000-style interrupt throttling; the
+		// link flushes the line when the wire goes idle, so latency
+		// workloads are not delayed (§5.4)
+		n, err := nic.New(ncfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		var d *driver.Driver
+		if cfg.Mode == NativeOptimized {
+			d = driver.New(n, driver.ModeRaw, &m.Meter, &m.Params, m.Alloc)
+			d.DeliverRaw = m.rp.EnqueueRaw
+		} else {
+			d = driver.New(n, driver.ModeBaseline, &m.Meter, &m.Params, m.Alloc)
+			d.DeliverSKB = m.Stack.Input
+		}
+		m.nics = append(m.nics, n)
+		m.drvs = append(m.drvs, d)
+	}
+	m.polling = make([]bool, len(m.nics))
+	return m, nil
+}
+
+// NICs returns the machine's NICs.
+func (m *NativeMachine) NICs() []*nic.NIC { return m.nics }
+
+// WireInterrupts routes every NIC's interrupt onto the NAPI poll list and
+// then to the CPU scheduler. Only NICs that have signaled are polled in a
+// round — this is what preserves per-device batching (and therefore the
+// achievable aggregation factor) when the CPU is not saturated.
+func (m *NativeMachine) WireInterrupts(kick func()) {
+	m.wired = true
+	for i := range m.nics {
+		idx := i
+		m.nics[idx].OnInterrupt = func() {
+			m.polling[idx] = true
+			kick()
+		}
+	}
+}
+
+// ReceivePath returns the optimized path (nil in baseline mode).
+func (m *NativeMachine) ReceivePath() *core.ReceivePath { return m.rp }
+
+// ProcessRound runs one softirq round: driver polls, aggregation, stack and
+// endpoint processing, plus the per-frame misc (and SMP coherence) charges.
+func (m *NativeMachine) ProcessRound(budget int) (int, bool) {
+	frames := 0
+	more := false
+	for i, d := range m.drvs {
+		// Unwired machines (directly driven tests) poll every NIC;
+		// wired machines follow the NAPI poll list.
+		if m.wired && !m.polling[i] {
+			continue
+		}
+		n := d.Poll(budget)
+		frames += n
+		if n == budget {
+			more = true // stays on the poll list (NAPI)
+		} else {
+			m.polling[i] = false
+		}
+	}
+	if m.rp != nil {
+		m.rp.Process(1 << 30)
+	}
+	if frames > 0 {
+		m.framesIn += uint64(frames)
+		misc := m.Params.MiscPerPacket
+		if m.Params.SMP {
+			misc += m.Params.SMPMiscExtra
+		}
+		m.Meter.Charge(cycles.Misc, uint64(frames)*misc)
+	}
+	return frames, more
+}
+
+// MeterRef returns the machine's cycle meter.
+func (m *NativeMachine) MeterRef() *cycles.Meter { return &m.Meter }
+
+// AllocRef returns the machine's allocator.
+func (m *NativeMachine) AllocRef() *buf.Allocator { return m.Alloc }
+
+// ParamsRef returns the machine's cost profile.
+func (m *NativeMachine) ParamsRef() *cost.Params { return &m.Params }
+
+// RegisterEndpoint adds a receiver endpoint to the stack and timer list.
+func (m *NativeMachine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error {
+	if err := m.Stack.Register(ep, remoteIP, localIP, remotePort, localPort); err != nil {
+		return err
+	}
+	m.eps = append(m.eps, ep)
+	return nil
+}
+
+// Endpoints returns the registered endpoints.
+func (m *NativeMachine) Endpoints() []*tcp.Endpoint { return m.eps }
+
+// HostPacketsIn returns host packets delivered to the stack.
+func (m *NativeMachine) HostPacketsIn() uint64 { return m.Stack.Stats().HostPacketsIn }
+
+// NetFramesIn returns network frames consumed from the NIC rings.
+func (m *NativeMachine) NetFramesIn() uint64 { return m.framesIn }
+
+// nativeRouter picks the outgoing driver by the destination IP's third
+// octet (one sender subnet per NIC: 10.0.<i>.x).
+type nativeRouter struct{ m *NativeMachine }
+
+// Transmit routes one outgoing host packet to its NIC driver.
+func (r nativeRouter) Transmit(skb *buf.SKB) {
+	m := r.m
+	l3 := skb.L3()
+	d := m.drvs[0]
+	if len(l3) >= 20 {
+		if idx := int(l3[18]); idx < len(m.drvs) {
+			d = m.drvs[idx]
+		}
+	}
+	d.Transmit(skb)
+}

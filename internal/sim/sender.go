@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/ipv4"
+	"repro/internal/packet"
+	"repro/internal/tcp"
+)
+
+// SenderMachine is one client machine of the testbed: it owns the sender
+// endpoints of the connections carried by one link. Its CPU is not the
+// system under test, so its endpoints charge a scrap meter that is never
+// reported; what matters is its *traffic shape* — ACK-clocked windows, and
+// round-robin interleaving with a TSO-like quantum when several
+// connections share the link (this is what bounds the achievable
+// aggregation factor in the Figure 12 scalability experiment).
+type SenderMachine struct {
+	sim     *Sim
+	meter   cycles.Meter // scrap: sender cost is out of scope
+	params  cost.Params
+	alloc   *buf.Allocator
+	quantum int
+
+	// MaxPayload caps data segments below the MSS (0 = full MSS).
+	MaxPayload int
+
+	conns   []*senderConn
+	byPort  map[uint16]*senderConn
+	rrIdx   int
+	rrLeft  int
+	pending [][]byte // retransmissions and pure-ACK frames awaiting the link
+
+	// OnWindowOpen is invoked when an ACK arrival may have opened a
+	// window (the link uses it to resume pulling).
+	OnWindowOpen func()
+}
+
+type senderConn struct {
+	ep        *tcp.Endpoint
+	localPort uint16
+}
+
+// NewSender creates a sender machine with the given interleave quantum
+// (frames sent from one connection before rotating; 0 uses the default).
+func NewSender(s *Sim, quantum int) *SenderMachine {
+	if quantum <= 0 {
+		quantum = DefaultSenderQuantum
+	}
+	m := &SenderMachine{
+		sim:     s,
+		params:  cost.NativeUP(),
+		quantum: quantum,
+		byPort:  make(map[uint16]*senderConn),
+	}
+	m.alloc = buf.NewAllocator(&m.meter, &m.params)
+	return m
+}
+
+// DefaultSenderQuantum mirrors a TSO-sized send quantum: a sender with an
+// open window emits runs of about this many segments before the link
+// rotates to another connection.
+const DefaultSenderQuantum = 12
+
+// AddStreamConn creates a sender endpoint with an unbounded stream to send.
+func (m *SenderMachine) AddStreamConn(localIP, remoteIP ipv4.Addr, localPort, remotePort uint16) (*tcp.Endpoint, error) {
+	ep, err := m.addConn(localIP, remoteIP, localPort, remotePort)
+	if err != nil {
+		return nil, err
+	}
+	ep.SetAppLimit(^uint64(0))
+	return ep, nil
+}
+
+// AddConn creates a sender endpoint with nothing to send yet (use AppWrite).
+func (m *SenderMachine) AddConn(localIP, remoteIP ipv4.Addr, localPort, remotePort uint16) (*tcp.Endpoint, error) {
+	return m.addConn(localIP, remoteIP, localPort, remotePort)
+}
+
+func (m *SenderMachine) addConn(localIP, remoteIP ipv4.Addr, localPort, remotePort uint16) (*tcp.Endpoint, error) {
+	if _, dup := m.byPort[localPort]; dup {
+		return nil, fmt.Errorf("sim: duplicate sender port %d", localPort)
+	}
+	cfg := tcp.DefaultConfig()
+	cfg.LocalIP, cfg.RemoteIP = localIP, remoteIP
+	cfg.LocalPort, cfg.RemotePort = localPort, remotePort
+	ep, err := tcp.New(cfg, &m.meter, &m.params, m.alloc, m.sim.Clock())
+	if err != nil {
+		return nil, err
+	}
+	ep.OnRetransmit = func(f []byte) {
+		m.pending = append(m.pending, f)
+		m.kick()
+	}
+	// Pure ACKs from the sender's receive half (it receives only ACKs in
+	// stream mode, but the RR client receives data) go out as frames.
+	ep.Output = func(skb *buf.SKB) {
+		frame := make([]byte, len(skb.Head))
+		copy(frame, skb.Head)
+		m.pending = append(m.pending, frame)
+		m.alloc.Free(skb)
+		m.kick()
+	}
+	c := &senderConn{ep: ep, localPort: localPort}
+	m.conns = append(m.conns, c)
+	m.byPort[localPort] = c
+	return ep, nil
+}
+
+func (m *SenderMachine) kick() {
+	if m.OnWindowOpen != nil {
+		m.OnWindowOpen()
+	}
+}
+
+// Conns returns the number of connections on this sender.
+func (m *SenderMachine) Conns() int { return len(m.conns) }
+
+// NextFrame returns the next frame to put on the wire, or nil if every
+// connection is window- or app-limited. Control frames (retransmissions,
+// pure ACKs) take priority; data is drawn round-robin with the quantum.
+func (m *SenderMachine) NextFrame() []byte {
+	if n := len(m.pending); n > 0 {
+		f := m.pending[0]
+		m.pending = m.pending[1:]
+		return f
+	}
+	if len(m.conns) == 0 {
+		return nil
+	}
+	for tries := 0; tries < len(m.conns); tries++ {
+		c := m.conns[m.rrIdx]
+		if m.rrLeft > 0 {
+			if f := c.ep.NextDataFrame(m.MaxPayload); f != nil {
+				m.rrLeft--
+				return f
+			}
+		}
+		m.rrIdx = (m.rrIdx + 1) % len(m.conns)
+		m.rrLeft = m.quantum
+		if f := m.conns[m.rrIdx].ep.NextDataFrame(m.MaxPayload); f != nil {
+			m.rrLeft--
+			return f
+		}
+	}
+	return nil
+}
+
+// ReceiveFrame processes a frame arriving from the receiver (ACKs; data in
+// RR mode). Parsing happens on the sender's CPU, which is free by
+// construction.
+func (m *SenderMachine) ReceiveFrame(frame []byte) {
+	p, err := packet.Parse(frame)
+	if err != nil {
+		return // corrupt frames are simply ignored by the sender model
+	}
+	c, ok := m.byPort[p.TCP.DstPort]
+	if !ok {
+		return
+	}
+	seg := tcp.Segment{
+		Hdr:        p.TCP,
+		FragAcks:   []uint32{p.TCP.Ack},
+		NetPackets: 1,
+	}
+	if len(p.Payload) > 0 {
+		seg.Payloads = [][]byte{p.Payload}
+	}
+	c.ep.Input(seg)
+	m.kick()
+}
+
+// FireTimers fires due endpoint timers at virtual time now.
+func (m *SenderMachine) FireTimers(now uint64) {
+	for _, c := range m.conns {
+		if d := c.ep.NextTimeout(); d != 0 && now >= d {
+			c.ep.OnTimeout(now)
+		}
+	}
+	m.kick()
+}

@@ -1,0 +1,408 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/nic"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.Schedule(100, func() { order = append(order, 2) })
+	s.Schedule(50, func() { order = append(order, 1) })
+	s.Schedule(100, func() { order = append(order, 3) }) // FIFO at same time
+	s.After(200, func() { order = append(order, 4) })
+	n := s.RunUntil(1000)
+	if n != 4 {
+		t.Fatalf("executed %d events, want 4", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 1000 {
+		t.Errorf("Now = %d, want 1000", s.Now())
+	}
+}
+
+func TestSimDeadlineStopsExecution(t *testing.T) {
+	s := NewSim()
+	ran := false
+	s.Schedule(500, func() { ran = true })
+	s.RunUntil(100)
+	if ran {
+		t.Error("event beyond deadline executed")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	s.RunUntil(600)
+	if !ran {
+		t.Error("event not executed after deadline extension")
+	}
+}
+
+func TestSimEventsScheduleEvents(t *testing.T) {
+	s := NewSim()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			s.After(10, tick)
+		}
+	}
+	s.After(0, tick)
+	s.RunUntil(1000)
+	if count != 10 {
+		t.Errorf("ticks = %d, want 10", count)
+	}
+}
+
+func TestSimSchedulePastClamps(t *testing.T) {
+	s := NewSim()
+	s.RunUntil(100)
+	ran := false
+	s.Schedule(50, func() { ran = true }) // in the past: clamp to now
+	s.RunUntil(100)
+	if !ran {
+		t.Error("past-scheduled event not run at current time")
+	}
+}
+
+func TestSimNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil event")
+		}
+	}()
+	NewSim().Schedule(0, nil)
+}
+
+func shortStream(sys SystemKind, opt OptLevel) StreamConfig {
+	cfg := DefaultStreamConfig(sys, opt)
+	cfg.DurationNs = 50_000_000
+	cfg.WarmupNs = 25_000_000
+	return cfg
+}
+
+// TestFig7Throughputs checks the headline Figure 7 result shapes: absolute
+// throughputs near the paper's values and the right winners.
+func TestFig7Throughputs(t *testing.T) {
+	type band struct{ lo, hi float64 }
+	cases := []struct {
+		sys   SystemKind
+		opt   OptLevel
+		tput  band
+		paper float64
+	}{
+		{SystemNativeUP, OptNone, band{3200, 3700}, 3452},
+		{SystemNativeUP, OptFull, band{4500, 4800}, 4660},
+		{SystemNativeSMP, OptNone, band{2700, 3200}, 2988},
+		{SystemNativeSMP, OptFull, band{4500, 4800}, 4660},
+		{SystemXen, OptNone, band{900, 1250}, 1088},
+		{SystemXen, OptFull, band{1700, 2200}, 1877},
+	}
+	for _, tc := range cases {
+		res, err := RunStream(shortStream(tc.sys, tc.opt))
+		if err != nil {
+			t.Fatalf("%v/%v: %v", tc.sys, tc.opt, err)
+		}
+		if res.ThroughputMbps < tc.tput.lo || res.ThroughputMbps > tc.tput.hi {
+			t.Errorf("%v/%v: throughput %.0f Mb/s outside band [%.0f, %.0f] (paper %.0f)",
+				tc.sys, tc.opt, res.ThroughputMbps, tc.tput.lo, tc.tput.hi, tc.paper)
+		}
+	}
+}
+
+func TestFig7OptimizedSaturatesNICsNotCPU(t *testing.T) {
+	// Paper: the optimized native systems saturate all five links at
+	// ~93% CPU; the baselines saturate the CPU instead.
+	res, err := RunStream(shortStream(SystemNativeUP, OptFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputMbps < res.LinkLimitedMbps*0.98 {
+		t.Errorf("optimized UP not link-limited: %.0f of %.0f Mb/s",
+			res.ThroughputMbps, res.LinkLimitedMbps)
+	}
+	if res.CPUUtil > 0.97 {
+		t.Errorf("optimized UP CPU util = %.2f, want <0.97 (paper 0.93)", res.CPUUtil)
+	}
+	base, err := RunStream(shortStream(SystemNativeUP, OptNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CPUUtil < 0.97 {
+		t.Errorf("baseline UP CPU util = %.2f, want saturation", base.CPUUtil)
+	}
+	if base.ThroughputMbps > base.LinkLimitedMbps*0.9 {
+		t.Errorf("baseline UP should be CPU-bound well below link rate")
+	}
+}
+
+func TestCPUScaledGains(t *testing.T) {
+	// CPU-scaled gains (cycles-per-packet ratios): paper reports +45%
+	// (UP), +67% (SMP), +86% (Xen) for the full optimizations.
+	cases := []struct {
+		sys          SystemKind
+		lo, hi       float64
+		paperPercent float64
+	}{
+		{SystemNativeUP, 1.35, 1.65, 45},
+		{SystemNativeSMP, 1.45, 1.80, 67},
+		{SystemXen, 1.70, 2.15, 86},
+	}
+	for _, tc := range cases {
+		base, err := RunStream(shortStream(tc.sys, OptNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := RunStream(shortStream(tc.sys, OptFull))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := base.CyclesPerPacket / opt.CyclesPerPacket
+		if gain < tc.lo || gain > tc.hi {
+			t.Errorf("%v: CPU-scaled gain %.2fx outside [%.2f, %.2f] (paper +%.0f%%)",
+				tc.sys, gain, tc.lo, tc.hi, tc.paperPercent)
+		}
+	}
+}
+
+func TestRAOnlyAblation(t *testing.T) {
+	// §5.1: aggregation alone gains +26/36/45% with CPU still saturated.
+	for _, tc := range []struct {
+		sys    SystemKind
+		lo, hi float64
+	}{
+		{SystemNativeUP, 1.20, 1.45},
+		{SystemNativeSMP, 1.30, 1.55},
+		{SystemXen, 1.30, 1.60},
+	} {
+		base, err := RunStream(shortStream(tc.sys, OptNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := RunStream(shortStream(tc.sys, OptAggregation))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := ra.ThroughputMbps / base.ThroughputMbps
+		if gain < tc.lo || gain > tc.hi {
+			t.Errorf("%v: RA-only gain %.2fx outside [%.2f, %.2f]", tc.sys, gain, tc.lo, tc.hi)
+		}
+		if ra.CPUUtil < 0.95 {
+			t.Errorf("%v: RA-only should stay CPU-saturated (util %.2f)", tc.sys, ra.CPUUtil)
+		}
+		full, err := RunStream(shortStream(tc.sys, OptFull))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.CyclesPerPacket >= ra.CyclesPerPacket {
+			t.Errorf("%v: ACK offload adds no benefit over RA alone", tc.sys)
+		}
+	}
+}
+
+func TestAggregationFactorNearLimit(t *testing.T) {
+	res, err := RunStream(shortStream(SystemNativeUP, OptFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggFactor < 10 || res.AggFactor > 20 {
+		t.Errorf("aggregation factor = %.1f, want 10-20 under bulk load", res.AggFactor)
+	}
+}
+
+func TestFig11LimitSweepShape(t *testing.T) {
+	// Figure 11: cycles/packet falls steeply then flattens (x + y/k);
+	// limit 1 must not degrade versus baseline (§5.5).
+	limits := []int{1, 2, 5, 10, 20, 35}
+	var cycles []float64
+	for _, lim := range limits {
+		cfg := shortStream(SystemNativeUP, OptFull)
+		cfg.AggLimit = lim
+		res, err := RunStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, res.CyclesPerPacket)
+	}
+	base, err := RunStream(shortStream(SystemNativeUP, OptNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Limit 1: within 6% of baseline either way (§5.5: no degradation).
+	if ratio := cycles[0] / base.CyclesPerPacket; ratio > 1.06 {
+		t.Errorf("limit 1 degrades: %.0f vs baseline %.0f cycles/pkt",
+			cycles[0], base.CyclesPerPacket)
+	}
+	// Monotone non-increasing (within noise).
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] > cycles[i-1]*1.03 {
+			t.Errorf("cycles rose from limit %d (%.0f) to %d (%.0f)",
+				limits[i-1], cycles[i-1], limits[i], cycles[i])
+		}
+	}
+	// Steep then flat: the 1->10 drop dwarfs the 20->35 change.
+	bigDrop := cycles[0] - cycles[3]
+	tailDrop := cycles[4] - cycles[5]
+	if bigDrop < 5*tailDrop {
+		t.Errorf("no knee: drop(1->10)=%.0f, drop(20->35)=%.0f", bigDrop, tailDrop)
+	}
+}
+
+func TestFig12ScalabilityShape(t *testing.T) {
+	// Figure 12: at hundreds of connections the optimized SMP system
+	// still beats the baseline by >=40%.
+	if testing.Short() {
+		t.Skip("multi-connection sweep is slow")
+	}
+	for _, conns := range []int{5, 100, 400} {
+		baseCfg := shortStream(SystemNativeSMP, OptNone)
+		baseCfg.Connections = conns
+		base, err := RunStream(baseCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCfg := shortStream(SystemNativeSMP, OptFull)
+		optCfg.Connections = conns
+		opt, err := RunStream(optCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := opt.ThroughputMbps / base.ThroughputMbps
+		if gain < 1.40 {
+			t.Errorf("%d conns: optimized gain %.2fx, want >=1.40x (paper: 40%% at 400)",
+				conns, gain)
+		}
+		if conns >= 100 && opt.AggFactor < 5 {
+			t.Errorf("%d conns: aggregation collapsed to %.1f", conns, opt.AggFactor)
+		}
+	}
+}
+
+func TestTable1RequestResponse(t *testing.T) {
+	// Table 1: ~7900 req/s native, lower on Xen, and the optimizations
+	// change the rate by well under 1%.
+	type result struct{ orig, opt float64 }
+	get := func(sys SystemKind) result {
+		cfg := DefaultRRConfig(sys, OptNone)
+		cfg.DurationNs = 200_000_000
+		o, err := RunRR(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Opt = OptFull
+		f, err := RunRR(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{o.RequestsPerSec, f.RequestsPerSec}
+	}
+	up := get(SystemNativeUP)
+	if up.orig < 7500 || up.orig > 8300 {
+		t.Errorf("UP RR = %.0f req/s, want ~7874", up.orig)
+	}
+	if d := up.opt/up.orig - 1; d < -0.01 || d > 0.01 {
+		t.Errorf("UP RR impact = %+.2f%%, want within 1%%", d*100)
+	}
+	xen := get(SystemXen)
+	if xen.orig >= up.orig {
+		t.Error("Xen RR should be slower than native (extra processing latency)")
+	}
+	if d := xen.opt/xen.orig - 1; d < -0.01 || d > 0.01 {
+		t.Errorf("Xen RR impact = %+.2f%%, want within 1%%", d*100)
+	}
+}
+
+func TestRRNoAggregationDelay(t *testing.T) {
+	// Work conservation: one-packet-at-a-time traffic must never wait
+	// for aggregation (AggFactor stays 1).
+	cfg := DefaultRRConfig(SystemNativeUP, OptFull)
+	cfg.DurationNs = 100_000_000
+	res, err := RunRR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggFactor > 1.01 {
+		t.Errorf("RR aggregation factor = %.2f, want 1.0", res.AggFactor)
+	}
+}
+
+func TestStreamByteIntegrity(t *testing.T) {
+	// End-to-end: the receiver's delivered byte count matches throughput
+	// accounting, and no SKBs leak over a full run.
+	cfg := shortStream(SystemNativeUP, OptFull)
+	top, err := buildStream(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top.sim.RunUntil(cfg.WarmupNs + cfg.DurationNs)
+	for _, ep := range top.machine.Endpoints() {
+		st := ep.Stats()
+		if st.BytesToApp == 0 {
+			t.Error("endpoint received nothing")
+		}
+		if st.OOOSegs > 0 || st.DupSegs > 0 {
+			t.Errorf("lossless run saw OOO=%d dup=%d", st.OOOSegs, st.DupSegs)
+		}
+	}
+}
+
+func TestSenderMachineRoundRobin(t *testing.T) {
+	s := NewSim()
+	m := NewSender(s, 3)
+	ipA := [4]byte{10, 0, 0, 1}
+	ipB := [4]byte{10, 0, 0, 2}
+	if _, err := m.AddStreamConn(ipA, ipB, 1001, 2001); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddStreamConn(ipA, ipB, 1002, 2002); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddStreamConn(ipA, ipB, 1001, 2001); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+	// Quantum 3: frames come in runs of 3 per connection.
+	var ports []uint16
+	for i := 0; i < 12; i++ {
+		f := m.NextFrame()
+		if f == nil {
+			t.Fatalf("frame %d: window closed early", i)
+		}
+		// src port at offset 34 (eth 14 + ip 20).
+		ports = append(ports, uint16(f[34])<<8|uint16(f[35]))
+	}
+	runs := 1
+	for i := 1; i < len(ports); i++ {
+		if ports[i] != ports[i-1] {
+			runs++
+		}
+	}
+	if runs != 4 {
+		t.Errorf("port runs = %d (%v), want 4 runs of 3", runs, ports)
+	}
+}
+
+func TestLinkWireTime(t *testing.T) {
+	s := NewSim()
+	m := NewSender(s, 0)
+	// MTU frame: 1538 wire bytes = 12.304 us at 1 Gb/s.
+	l := NewLink(s, m, mustTestNIC(t))
+	if got := l.wireTimeNs(1514); got != 12304 {
+		t.Errorf("wire time = %d ns, want 12304", got)
+	}
+}
+
+func mustTestNIC(t *testing.T) *nic.NIC {
+	t.Helper()
+	n, err := nic.New(nic.DefaultConfig("test0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

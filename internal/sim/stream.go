@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/ipv4"
+	"repro/internal/nic"
+	"repro/internal/tcp"
+	"repro/internal/xenvirt"
+)
+
+// SystemKind selects the receiver system under test (paper §5.1).
+type SystemKind int
+
+const (
+	// SystemNativeUP is the uniprocessor Linux receiver.
+	SystemNativeUP SystemKind = iota
+	// SystemNativeSMP is the dual-core SMP Linux receiver.
+	SystemNativeSMP
+	// SystemXen is the Linux guest on the Xen VMM.
+	SystemXen
+)
+
+// String names the system as in the paper's figures.
+func (k SystemKind) String() string {
+	switch k {
+	case SystemNativeUP:
+		return "Linux UP"
+	case SystemNativeSMP:
+		return "Linux SMP"
+	case SystemXen:
+		return "Xen"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(k))
+	}
+}
+
+// OptLevel selects the receive-path variant.
+type OptLevel int
+
+const (
+	// OptNone is the unmodified stack ("Original" in the figures).
+	OptNone OptLevel = iota
+	// OptAggregation enables Receive Aggregation only (§5.1 reports
+	// this ablation: +26/36/45%).
+	OptAggregation
+	// OptFull enables Receive Aggregation and Acknowledgment Offload
+	// ("Optimized" in the figures).
+	OptFull
+)
+
+// String names the level.
+func (o OptLevel) String() string {
+	switch o {
+	case OptNone:
+		return "Original"
+	case OptAggregation:
+		return "RA only"
+	case OptFull:
+		return "Optimized"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(o))
+	}
+}
+
+// StreamConfig describes one bulk-receive experiment (the §5.1
+// microbenchmark: netperf-style streams at maximum rate).
+type StreamConfig struct {
+	// System selects the receiver machine.
+	System SystemKind
+	// Opt selects the receive-path variant.
+	Opt OptLevel
+	// NICs is the number of Gigabit NICs/links (paper: 5).
+	NICs int
+	// Connections is the total number of concurrent connections, spread
+	// round-robin over the NICs (paper: one per NIC for Figure 7; up to
+	// 400 for Figure 12). Defaults to NICs.
+	Connections int
+	// AggLimit overrides the Aggregation Limit (0 = paper default 20).
+	AggLimit int
+	// DurationNs is the measured interval (after warm-up).
+	DurationNs uint64
+	// WarmupNs lets windows open and queues reach steady state before
+	// measurement starts.
+	WarmupNs uint64
+	// Params overrides the machine cost profile (zero value: chosen by
+	// System). Used by the prefetching study (Figure 1).
+	Params *cost.Params
+	// SenderQuantum overrides the sender interleave quantum.
+	SenderQuantum int
+	// MessageSize caps sender segments below the MSS (0 = full MSS).
+	// The paper notes the optimizations do not help small-message
+	// workloads (§5.5, §1) — sub-MSS segments still aggregate poorly
+	// in byte terms and ACK policy differs.
+	MessageSize int
+	// CorruptOneIn injects a bit flip into every Nth delivered frame
+	// (0 = never): failure injection for loss-recovery testing.
+	CorruptOneIn int
+}
+
+// DefaultStreamConfig mirrors the paper's five-NIC bulk setup.
+func DefaultStreamConfig(system SystemKind, opt OptLevel) StreamConfig {
+	return StreamConfig{
+		System:     system,
+		Opt:        opt,
+		NICs:       5,
+		DurationNs: 150_000_000, // 150 ms measured
+		WarmupNs:   40_000_000,  // 40 ms warm-up
+	}
+}
+
+// StreamResult reports one bulk-receive run.
+type StreamResult struct {
+	// ThroughputMbps is application goodput over the measured interval.
+	ThroughputMbps float64
+	// CPUUtil is receiver busy cycles / available cycles (one core
+	// serializes the receive path; see DESIGN.md §5.5).
+	CPUUtil float64
+	// CyclesPerPacket is charged cycles per network frame.
+	CyclesPerPacket float64
+	// Breakdown is the per-frame cycle breakdown by category.
+	Breakdown cycles.Breakdown
+	// AggFactor is network frames per host packet (1.0 when not
+	// aggregating).
+	AggFactor float64
+	// Frames is the number of network frames processed in the interval.
+	Frames uint64
+	// LinkLimitedMbps is the aggregate wire goodput limit for reference.
+	LinkLimitedMbps float64
+}
+
+// streamTopology holds the wired-up experiment.
+type streamTopology struct {
+	sim     *Sim
+	machine Machine
+	senders []*SenderMachine
+	links   []*Link
+	cpu     *cpuDriver
+}
+
+// RunStream executes one bulk-receive experiment.
+func RunStream(cfg StreamConfig) (StreamResult, error) {
+	top, err := buildStream(&cfg)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	s := top.sim
+
+	// Warm-up, snapshot, measure.
+	s.RunUntil(cfg.WarmupNs)
+	startSnap := top.machine.MeterRef().Snapshot()
+	startBytes := appBytes(top.machine)
+	startFrames := top.machine.NetFramesIn()
+	startHost := top.machine.HostPacketsIn()
+	startBusy := top.cpu.busyCycles
+
+	s.RunUntil(cfg.WarmupNs + cfg.DurationNs)
+
+	endSnap := top.machine.MeterRef().Snapshot()
+	delta := endSnap.Sub(startSnap)
+	bytes := appBytes(top.machine) - startBytes
+	frames := top.machine.NetFramesIn() - startFrames
+	host := top.machine.HostPacketsIn() - startHost
+	busy := top.cpu.busyCycles - startBusy
+
+	elapsedSec := float64(cfg.DurationNs) / 1e9
+	res := StreamResult{
+		ThroughputMbps:  float64(bytes) * 8 / elapsedSec / 1e6,
+		CPUUtil:         float64(busy) / (top.machine.ParamsRef().ClockHz * elapsedSec),
+		Frames:          frames,
+		LinkLimitedMbps: float64(cfg.NICs) * linkGoodputMbps(),
+	}
+	if frames > 0 {
+		res.CyclesPerPacket = float64(delta.Total()) / float64(frames)
+		res.Breakdown = delta.PerPacket(frames)
+	}
+	if host > 0 {
+		res.AggFactor = float64(frames) / float64(host)
+	}
+	return res, nil
+}
+
+// linkGoodputMbps is the per-link TCP goodput ceiling for MSS-sized
+// segments: 1448 payload bytes per 1538 wire bytes.
+func linkGoodputMbps() float64 {
+	const frameWire = 14 + 20 + 32 + 1448 + 24 // header+payload+overheads
+	return 1000 * 1448 / float64(frameWire)
+}
+
+// appBytes sums delivered application bytes over the receiver endpoints.
+func appBytes(m Machine) uint64 {
+	var total uint64
+	for _, ep := range m.Endpoints() {
+		total += ep.Stats().BytesToApp
+	}
+	return total
+}
+
+// buildStream wires the full topology.
+func buildStream(cfg *StreamConfig) (*streamTopology, error) {
+	if cfg.NICs <= 0 {
+		return nil, fmt.Errorf("sim: NICs %d must be positive", cfg.NICs)
+	}
+	if cfg.Connections == 0 {
+		cfg.Connections = cfg.NICs
+	}
+	if cfg.Connections < 0 {
+		return nil, fmt.Errorf("sim: Connections %d must be positive", cfg.Connections)
+	}
+	if cfg.DurationNs == 0 {
+		cfg.DurationNs = 150_000_000
+	}
+	s := NewSim()
+
+	machine, err := buildMachine(cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	cpu := newCPUDriver(s, machine)
+
+	top := &streamTopology{sim: s, machine: machine, cpu: cpu}
+
+	// One sender machine + link per NIC; interrupts go through the
+	// machine's NAPI poll list to the CPU scheduler.
+	machine.WireInterrupts(cpu.kick)
+	for i := 0; i < cfg.NICs; i++ {
+		sender := NewSender(s, cfg.SenderQuantum)
+		sender.MaxPayload = cfg.MessageSize
+		link := NewLink(s, sender, machine.NICs()[i])
+		link.CorruptOneIn = cfg.CorruptOneIn
+		machine.NICs()[i].OnTransmit = nicReverse(link, cpu)
+		top.senders = append(top.senders, sender)
+		top.links = append(top.links, link)
+	}
+
+	// Connections, round-robin across NICs. Sender i on NIC n has
+	// address 10.0.<n>.1, the receiver 10.0.<n>.2; ports disambiguate
+	// connections sharing a link.
+	for c := 0; c < cfg.Connections; c++ {
+		n := c % cfg.NICs
+		senderIP := ipv4.Addr{10, 0, byte(n), 1}
+		rcvIP := ipv4.Addr{10, 0, byte(n), 2}
+		sPort := uint16(5001 + c/cfg.NICs)
+		rPort := uint16(44000 + c/cfg.NICs)
+
+		if _, err := top.senders[n].AddStreamConn(senderIP, rcvIP, sPort, rPort); err != nil {
+			return nil, err
+		}
+
+		rcfg := tcp.DefaultConfig()
+		rcfg.LocalIP, rcfg.RemoteIP = rcvIP, senderIP
+		rcfg.LocalPort, rcfg.RemotePort = rPort, sPort
+		rcfg.AckOffload = cfg.Opt == OptFull
+		ep, err := tcp.New(rcfg, machine.MeterRef(), machine.ParamsRef(),
+			machine.AllocRef(), s.Clock())
+		if err != nil {
+			return nil, err
+		}
+		if err := machine.RegisterEndpoint(ep, senderIP, rcvIP, sPort, rPort); err != nil {
+			return nil, err
+		}
+	}
+
+	// Periodic timer sweep (delayed ACKs, RTO backstop) and initial kick.
+	const sweepNs = 5_000_000
+	var sweep func()
+	sweep = func() {
+		now := s.Now()
+		for _, ep := range machine.Endpoints() {
+			if d := ep.NextTimeout(); d != 0 && now >= d {
+				ep.OnTimeout(now)
+			}
+		}
+		for _, snd := range top.senders {
+			snd.FireTimers(now)
+		}
+		cpu.kick()
+		s.After(sweepNs, sweep)
+	}
+	s.After(sweepNs, sweep)
+	for _, l := range top.links {
+		l.Kick()
+	}
+	return top, nil
+}
+
+// buildMachine constructs the system under test.
+func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
+	aggOpts := core.DefaultOptions()
+	if cfg.AggLimit > 0 {
+		aggOpts.Aggregation.Limit = cfg.AggLimit
+	}
+	aggOpts.AckOffload = cfg.Opt == OptFull
+
+	switch cfg.System {
+	case SystemNativeUP, SystemNativeSMP:
+		params := cost.NativeUP()
+		if cfg.System == SystemNativeSMP {
+			params = cost.NativeSMP()
+		}
+		if cfg.Params != nil {
+			params = *cfg.Params
+		}
+		mode := NativeBaseline
+		if cfg.Opt != OptNone {
+			mode = NativeOptimized
+		}
+		return NewNative(NativeConfig{
+			Params:      params,
+			NICCount:    cfg.NICs,
+			Mode:        mode,
+			Aggregation: aggOpts,
+			Clock:       s.Clock(),
+		})
+	case SystemXen:
+		params := cost.XenGuest()
+		if cfg.Params != nil {
+			params = *cfg.Params
+		}
+		mode := xenvirt.ModeBaseline
+		if cfg.Opt != OptNone {
+			mode = xenvirt.ModeOptimized
+		}
+		return xenvirt.New(xenvirt.Config{
+			Params:      params,
+			NICCount:    cfg.NICs,
+			Mode:        mode,
+			Aggregation: aggOpts,
+			Clock:       s.Clock(),
+		})
+	default:
+		return nil, fmt.Errorf("sim: unknown system %d", int(cfg.System))
+	}
+}
+
+// nicReverse returns the receiver NIC's transmit hook: frames go back over
+// the link to the sender, departing only after the CPU time charged so far
+// in the current round (the response to a request cannot leave before it
+// has been computed — this is what puts receive-path processing cost into
+// the request/response latency of Table 1).
+func nicReverse(l *Link, cpu *cpuDriver) func(nic.Frame) {
+	return func(f nic.Frame) {
+		l.DeliverReverseDelayed(f.Data, cpu.inRoundLatencyNs())
+	}
+}
+
+// cpuDriver serializes the receiver's softirq rounds on virtual time: each
+// round's charged cycles occupy the CPU, delaying the next round — the
+// mechanism that makes throughput CPU-bound when the cost model says so.
+type cpuDriver struct {
+	sim        *Sim
+	m          Machine
+	scheduled  bool
+	busyUntil  uint64
+	busyCycles uint64
+	rxBudget   int
+	inRound    bool
+	roundBase  uint64 // meter total at round start
+}
+
+func newCPUDriver(s *Sim, m Machine) *cpuDriver {
+	return &cpuDriver{sim: s, m: m, rxBudget: 64}
+}
+
+// kick schedules a softirq round when the CPU next frees up. Idempotent.
+func (c *cpuDriver) kick() {
+	if c.scheduled {
+		return
+	}
+	c.scheduled = true
+	at := c.sim.Now()
+	if c.busyUntil > at {
+		at = c.busyUntil
+	}
+	c.sim.Schedule(at, c.round)
+}
+
+// round executes one softirq round and accounts its CPU time. NAPI
+// semantics: the CPU re-runs immediately only while some driver exhausts
+// its poll budget; once every ring drains within budget, interrupts are
+// re-enabled and the next round waits for the NIC (whose throttling then
+// sets the batch size the aggregation engine sees).
+func (c *cpuDriver) round() {
+	c.scheduled = false
+	meter := c.m.MeterRef()
+	c.roundBase = meter.Total()
+	c.inRound = true
+	_, more := c.m.ProcessRound(c.rxBudget)
+	c.inRound = false
+	used := meter.Total() - c.roundBase
+	c.busyCycles += used
+	busyNs := uint64(float64(used) / c.m.ParamsRef().ClockHz * 1e9)
+	c.busyUntil = c.sim.Now() + busyNs
+
+	if more {
+		c.kick()
+	}
+}
+
+// inRoundLatencyNs reports how much CPU time the current round has charged
+// so far: packets transmitted mid-round leave the machine that much later
+// in wall-clock terms. Zero outside a round.
+func (c *cpuDriver) inRoundLatencyNs() uint64 {
+	if !c.inRound {
+		return 0
+	}
+	used := c.m.MeterRef().Total() - c.roundBase
+	return uint64(float64(used) / c.m.ParamsRef().ClockHz * 1e9)
+}

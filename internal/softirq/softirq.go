@@ -1,0 +1,85 @@
+// Package softirq provides the per-CPU, lock-free producer/consumer queue
+// that connects the interrupt-context driver to the softirq-context
+// aggregation routine (paper §3.5: "The 'aggregation queue' is a per-CPU
+// queue, and is implemented in a lock-free manner").
+//
+// The queue is a single-producer single-consumer ring: the NIC driver
+// (interrupt context) produces, the aggregation routine (softirq context)
+// consumes. No locked read-modify-write operations are required, so no
+// SMP lock costs are charged for queue access — exactly the property the
+// paper exploits.
+package softirq
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a bounded lock-free SPSC queue.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+	head atomic.Uint64 // consumer position
+	tail atomic.Uint64 // producer position
+}
+
+// NewRing creates a ring with capacity rounded up to a power of two.
+func NewRing[T any](capacity int) (*Ring[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("softirq: capacity %d must be positive", capacity)
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{buf: make([]T, n), mask: uint64(n - 1)}, nil
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items.
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Empty reports whether the ring has no queued items.
+func (r *Ring[T]) Empty() bool { return r.Len() == 0 }
+
+// Push enqueues v; it returns false if the ring is full. Only one goroutine
+// (the producer) may call Push.
+func (r *Ring[T]) Push(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Pop dequeues the oldest item. Only one goroutine (the consumer) may call
+// Pop.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// PopBatch dequeues up to max items into out, returning the filled slice.
+func (r *Ring[T]) PopBatch(out []T, max int) []T {
+	for len(out) < max {
+		v, ok := r.Pop()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package softirq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing[int](0); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	if _, err := NewRing[int](-1); err == nil {
+		t.Error("expected error for negative capacity")
+	}
+	r, err := NewRing[int](5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 8 {
+		t.Errorf("capacity = %d, want rounded-up 8", r.Cap())
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	r, _ := NewRing[int](8)
+	for i := 0; i < 8; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(99) {
+		t.Error("push into full ring succeeded")
+	}
+	if r.Len() != 8 {
+		t.Errorf("Len = %d, want 8", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty ring succeeded")
+	}
+	if !r.Empty() {
+		t.Error("Empty() = false after drain")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	r, _ := NewRing[int](4)
+	next, expect := 0, 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Push(next) {
+				t.Fatal("push failed below capacity")
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.Pop()
+			if !ok || v != expect {
+				t.Fatalf("round %d: got %d ok=%v, want %d", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestPopBatch(t *testing.T) {
+	r, _ := NewRing[int](16)
+	for i := 0; i < 10; i++ {
+		r.Push(i)
+	}
+	out := r.PopBatch(nil, 4)
+	if len(out) != 4 || out[0] != 0 || out[3] != 3 {
+		t.Errorf("first batch = %v", out)
+	}
+	out = r.PopBatch(out[:0], 100)
+	if len(out) != 6 || out[0] != 4 || out[5] != 9 {
+		t.Errorf("second batch = %v", out)
+	}
+	if got := r.PopBatch(nil, 5); len(got) != 0 {
+		t.Errorf("empty batch = %v", got)
+	}
+}
+
+func TestPopClearsSlot(t *testing.T) {
+	// Popped slots must drop their references so the consumer does not
+	// retain packet memory.
+	r, _ := NewRing[[]byte](4)
+	r.Push(make([]byte, 1500))
+	v, ok := r.Pop()
+	if !ok || v == nil {
+		t.Fatal("pop failed")
+	}
+	// The internal slot must now be nil; re-push into the same slot and
+	// verify nothing leaked by inspecting ring internals indirectly via
+	// a full cycle.
+	for i := 0; i < r.Cap(); i++ {
+		r.Push(nil)
+	}
+	for i := 0; i < r.Cap(); i++ {
+		if got, _ := r.Pop(); got != nil {
+			t.Fatal("slot retained stale value")
+		}
+	}
+}
+
+func TestConcurrentSPSC(t *testing.T) {
+	// One producer, one consumer, no locks: every value must arrive
+	// exactly once, in order.
+	const total = 200000
+	r, _ := NewRing[int](1024)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if r.Push(i) {
+				i++
+			}
+		}
+	}()
+	var failure string
+	go func() {
+		defer wg.Done()
+		for want := 0; want < total; {
+			v, ok := r.Pop()
+			if !ok {
+				continue
+			}
+			if v != want {
+				failure = "out of order delivery"
+				return
+			}
+			want++
+		}
+	}()
+	wg.Wait()
+	if failure != "" {
+		t.Fatal(failure)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r, _ := NewRing[int](256)
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+}

@@ -1,0 +1,539 @@
+// Package tcp implements the TCP endpoints of the simulated stack: the
+// receive path the paper optimizes, the ACK generation policy (one ACK per
+// two full segments, RFC 1122 delayed ACK), and the sender side (Reno
+// congestion control, retransmission) that closes the control loop.
+//
+// The §3.4 modifications are implemented here:
+//
+//  1. Congestion control: when a host packet represents several network
+//     packets, the send-side state is advanced once per constituent ACK
+//     number (Segment.FragAcks), not once per host packet, so the
+//     congestion window evolves exactly as without aggregation.
+//
+//  2. ACK generation: the receive side counts constituent segments, not
+//     host packets, so an aggregate of k segments still produces k/2 ACKs.
+//     With Acknowledgment Offload enabled those ACKs leave the TCP layer
+//     as a single template SKB (§4); otherwise they are emitted
+//     individually.
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/buf"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/ether"
+	"repro/internal/ipv4"
+	"repro/internal/packet"
+	"repro/internal/tcpwire"
+)
+
+// Clock supplies virtual time in nanoseconds.
+type Clock func() uint64
+
+// DataSource fills b with the payload bytes for sequence range
+// [seq, seq+len(b)). It lets the retransmit path rebuild any segment
+// without buffering sent data; the default source writes zeros.
+type DataSource func(seq uint32, b []byte)
+
+// Config describes one endpoint of an established connection. The
+// simulation starts connections in the established state: connection setup
+// is not on the paper's measured path.
+type Config struct {
+	LocalMAC, RemoteMAC   ether.Addr
+	LocalIP, RemoteIP     ipv4.Addr
+	LocalPort, RemotePort uint16
+	// MSS is the maximum segment payload (1448 with timestamps on
+	// Ethernet).
+	MSS int
+	// RcvWnd is the advertised receive window in bytes.
+	RcvWnd int
+	// UseTimestamps enables the TCP timestamp option (required for
+	// segments to be aggregatable, §3.1).
+	UseTimestamps bool
+	// DelAckSegments is the full-segment count that triggers an ACK
+	// (2 per RFC 1122 and §3.4).
+	DelAckSegments int
+	// DelAckTimeoutNs flushes a pending ACK that never reached the
+	// segment threshold.
+	DelAckTimeoutNs uint64
+	// AckOffload emits ACK runs as template SKBs (§4).
+	AckOffload bool
+	// WScale is the window-scale shift both sides agreed on during the
+	// (unsimulated) handshake; Linux 2.6.16 negotiates it by default,
+	// and without it the 64 KB window cap stalls Gigabit streams.
+	WScale uint8
+	// ISS and IRS are the initial local and remote sequence numbers.
+	ISS, IRS uint32
+	// InitialCwnd is the initial congestion window in segments.
+	InitialCwnd int
+	// RTONs is the (fixed) retransmission timeout.
+	RTONs uint64
+	// Source generates payload bytes for transmission.
+	Source DataSource
+}
+
+// DefaultConfig returns a config with Linux-2.6.16-like defaults for the
+// given four-tuple.
+func DefaultConfig() Config {
+	return Config{
+		MSS:             1448,
+		RcvWnd:          87380,
+		WScale:          2,
+		UseTimestamps:   true,
+		DelAckSegments:  2,
+		DelAckTimeoutNs: 40_000_000, // 40 ms
+		ISS:             1,
+		IRS:             1,
+		InitialCwnd:     10,
+		RTONs:           200_000_000, // 200 ms
+	}
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	SegsIn, SegsOut   uint64
+	BytesIn, BytesOut uint64
+	BytesToApp        uint64
+	AcksOut           uint64
+	AckPacketsOut     uint64
+	AckTemplatesOut   uint64
+	DupSegs, OOOSegs  uint64
+	BadCsum           uint64
+	AcksIn            uint64
+	DupAcksIn         uint64
+	FastRetransmits   uint64
+	RTOs              uint64
+	DelAckTimerFires  uint64
+}
+
+type oooSegment struct {
+	seq  uint32
+	data []byte
+}
+
+type sentSegment struct {
+	seq    uint32
+	length int
+}
+
+// Endpoint is one side of an established TCP connection.
+type Endpoint struct {
+	cfg    Config
+	meter  *cycles.Meter
+	params *cost.Params
+	alloc  *buf.Allocator
+	clock  Clock
+
+	// Output transmits an SKB toward the IP layer. Must be set before
+	// any traffic flows.
+	Output func(*buf.SKB)
+	// AppSink, when set, receives the in-order byte stream (tests and
+	// examples); when nil payload bytes are counted but not copied out.
+	AppSink func([]byte)
+	// OnRetransmit, when set, receives retransmitted frames as raw bytes
+	// instead of SKBs through Output (used by sender machines that feed
+	// a link directly).
+	OnRetransmit func([]byte)
+
+	// Receive state.
+	rcvNxt      uint32
+	tsRecent    uint32
+	ooo         []oooSegment
+	delackSegs  int
+	ackPending  bool
+	delackArm   uint64 // virtual deadline, 0 = unarmed
+	pendingAcks []uint32
+	finSeen     bool
+
+	// Send state.
+	sndUna, sndNxt uint32
+	cwnd, ssthresh int
+	sndWnd         int
+	dupAcks        int
+	inFastRec      bool
+	recover        uint32
+	rtx            []sentSegment
+	rtoDeadline    uint64
+	appLimited     uint64 // bytes the app wants to send; ^uint64(0) = unlimited
+	ipID           uint16
+
+	stats Stats
+}
+
+// New creates an endpoint charging m under p, allocating from alloc, and
+// reading virtual time from clock.
+func New(cfg Config, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, clock Clock) (*Endpoint, error) {
+	if m == nil || p == nil || alloc == nil || clock == nil {
+		return nil, fmt.Errorf("tcp: nil dependency")
+	}
+	if cfg.MSS <= 0 || cfg.MSS > 65000 {
+		return nil, fmt.Errorf("tcp: bad MSS %d", cfg.MSS)
+	}
+	if cfg.RcvWnd <= 0 {
+		return nil, fmt.Errorf("tcp: bad RcvWnd %d", cfg.RcvWnd)
+	}
+	if cfg.DelAckSegments <= 0 {
+		return nil, fmt.Errorf("tcp: bad DelAckSegments %d", cfg.DelAckSegments)
+	}
+	if cfg.InitialCwnd <= 0 {
+		return nil, fmt.Errorf("tcp: bad InitialCwnd %d", cfg.InitialCwnd)
+	}
+	if cfg.Source == nil {
+		cfg.Source = func(seq uint32, b []byte) {
+			for i := range b {
+				b[i] = 0
+			}
+		}
+	}
+	e := &Endpoint{
+		cfg:      cfg,
+		meter:    m,
+		params:   p,
+		alloc:    alloc,
+		clock:    clock,
+		rcvNxt:   cfg.IRS,
+		sndUna:   cfg.ISS,
+		sndNxt:   cfg.ISS,
+		cwnd:     cfg.InitialCwnd * cfg.MSS,
+		ssthresh: 1 << 30,
+		sndWnd:   cfg.RcvWnd,
+	}
+	return e, nil
+}
+
+// Stats returns a copy of the endpoint counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// RcvNxt returns the next expected receive sequence number.
+func (e *Endpoint) RcvNxt() uint32 { return e.rcvNxt }
+
+// SndUna returns the oldest unacknowledged sequence number.
+func (e *Endpoint) SndUna() uint32 { return e.sndUna }
+
+// SndNxt returns the next send sequence number.
+func (e *Endpoint) SndNxt() uint32 { return e.sndNxt }
+
+// Cwnd returns the congestion window in bytes.
+func (e *Endpoint) Cwnd() int { return e.cwnd }
+
+// Closed reports whether the peer's FIN has been processed.
+func (e *Endpoint) Closed() bool { return e.finSeen }
+
+// tsNow returns the TCP timestamp clock value: milliseconds of virtual
+// time, the 1000 Hz granularity of the paper's §3.6 argument.
+func (e *Endpoint) tsNow() uint32 { return uint32(e.clock() / 1_000_000) }
+
+// Input processes one host packet delivered by the IP layer. It charges
+// the TCP receive-processing costs, advances send-side state once per
+// constituent ACK, accepts or queues payload, and generates ACKs under the
+// modified §3.4 policy. The segment's SKB, if any, is freed before return.
+func (e *Endpoint) Input(seg Segment) {
+	e.stats.SegsIn += uint64(maxInt(seg.NetPackets, 1))
+
+	// TCP receive processing: fixed per host packet plus the §3.4
+	// per-fragment bookkeeping, plus SMP locking (§2.3).
+	e.meter.Charge(cycles.Rx, e.params.TCPRxSegment+e.params.LockCost(e.params.RxLockOps))
+	if seg.NetPackets > 1 {
+		e.meter.Charge(cycles.Rx, uint64(seg.NetPackets)*e.params.TCPRxPerFrag)
+	}
+
+	hdr := seg.Hdr
+
+	// Send-side processing: one ACK event per constituent network packet
+	// (§3.4 item 1). FragAcks is never empty for well-formed segments.
+	acks := seg.FragAcks
+	if len(acks) == 0 {
+		acks = []uint32{hdr.Ack}
+	}
+	if hdr.Flags&tcpwire.FlagACK != 0 {
+		for _, a := range acks {
+			e.processAck(a)
+		}
+		// Peer window update: for aggregates this is the last
+		// fragment's advertised window (§3.2 rewrite).
+		e.sndWnd = int(hdr.Window) << e.cfg.WScale
+	}
+
+	// Timestamp echo state (in-order packets only; §3.2 keeps the last
+	// fragment's timestamp, which is what we see here).
+	if hdr.HasTimestamp && seqLEQ(hdr.Seq, e.rcvNxt) {
+		e.tsRecent = hdr.TSVal
+	}
+
+	if hdr.Flags&tcpwire.FlagRST != 0 {
+		e.finSeen = true
+		e.freeSegSKB(seg)
+		return
+	}
+
+	total := seg.TotalPayloadLen()
+	if total > 0 {
+		e.receiveData(&seg)
+	}
+
+	if hdr.Flags&tcpwire.FlagFIN != 0 {
+		finSeq := hdr.Seq + uint32(total)
+		if finSeq == e.rcvNxt {
+			e.rcvNxt++
+			e.finSeen = true
+			e.queueAck(e.rcvNxt)
+		}
+	}
+
+	e.flushAcks()
+	e.freeSegSKB(seg)
+}
+
+// receiveData handles the payload runs of a data segment. Each constituent
+// run is processed exactly as if its network packet had arrived alone —
+// the §3.4 requirement that aggregation not change protocol behaviour.
+// (An aggregate can legitimately start with a retransmitted segment the
+// receiver already has: the engine only checks continuity, not the
+// receiver's window.)
+func (e *Endpoint) receiveData(seg *Segment) {
+	s := seg.Hdr.Seq
+	for _, run := range seg.Payloads {
+		if len(run) == 0 {
+			continue
+		}
+		e.receiveRun(s, run)
+		s += uint32(len(run))
+	}
+}
+
+// receiveRun applies per-segment receive processing to one payload run.
+func (e *Endpoint) receiveRun(seq uint32, run []byte) {
+	end := seq + uint32(len(run))
+	switch {
+	case seq == e.rcvNxt:
+		// In order: deliver, count toward the ACK policy, and drain
+		// any out-of-order data this makes contiguous.
+		e.deliverToApp(run)
+		e.rcvNxt = end
+		e.countSegmentForAck(len(run), e.rcvNxt)
+		e.drainOOO()
+	case seqLT(seq, e.rcvNxt):
+		if seqLEQ(end, e.rcvNxt) {
+			// Entirely duplicate: immediate dup-ACK (RFC 5681).
+			e.stats.DupSegs++
+			e.queueAck(e.rcvNxt)
+			return
+		}
+		// Partially duplicate: trim the old prefix, accept the rest
+		// (RFC 793 §3.9 trimming).
+		e.stats.DupSegs++
+		trimmed := run[e.rcvNxt-seq:]
+		e.deliverToApp(trimmed)
+		e.rcvNxt = end
+		e.countSegmentForAck(len(trimmed), e.rcvNxt)
+		e.drainOOO()
+	default:
+		// Future data: queue and dup-ACK (fast-retransmit trigger
+		// for the peer).
+		e.stats.OOOSegs++
+		e.queueOOO(seq, [][]byte{run})
+		e.queueAck(e.rcvNxt)
+	}
+}
+
+// deliverToApp hands one payload run to the application, charging the
+// per-byte copy (the paper's dominant historical cost, §2.1). The copy is
+// charged per run because each run is a separate sequential stream for the
+// prefetcher.
+func (e *Endpoint) deliverToApp(run []byte) {
+	e.meter.Charge(cycles.PerByte, e.params.CopyFixed+e.params.Mem.CopyCost(len(run)))
+	e.stats.BytesIn += uint64(len(run))
+	e.stats.BytesToApp += uint64(len(run))
+	if e.AppSink != nil {
+		e.AppSink(run)
+	}
+}
+
+// countSegmentForAck advances the delayed-ACK state after one constituent
+// segment whose last byte is cumAck; a full-segment count reaching the
+// threshold queues an ACK for the bytes received so far (§3.4 item 2).
+// Sub-MSS data arms the delayed-ACK timer without counting a full segment.
+func (e *Endpoint) countSegmentForAck(runLen int, cumAck uint32) {
+	e.ackPending = true
+	if runLen >= e.cfg.MSS {
+		e.delackSegs++
+	}
+	if e.delackSegs >= e.cfg.DelAckSegments {
+		e.delackSegs = 0
+		e.ackPending = false
+		e.queueAck(cumAck)
+		e.delackArm = 0
+		return
+	}
+	if e.delackArm == 0 && e.cfg.DelAckTimeoutNs > 0 {
+		e.delackArm = e.clock() + e.cfg.DelAckTimeoutNs
+	}
+}
+
+// queueAck records an ACK to be emitted by flushAcks. Consecutive ACKs for
+// the same connection queued in one Input call are exactly the batch that
+// Acknowledgment Offload turns into a template (§4.3).
+func (e *Endpoint) queueAck(ackNum uint32) {
+	e.pendingAcks = append(e.pendingAcks, ackNum)
+}
+
+// flushAcks emits the queued ACKs: as one template SKB under ACK offload,
+// or as individual ACK packets otherwise. TCP-layer transmit costs are
+// charged here; IP/queue/driver costs accrue further down the stack.
+func (e *Endpoint) flushAcks() {
+	if len(e.pendingAcks) == 0 {
+		return
+	}
+	acks := e.pendingAcks
+	e.pendingAcks = e.pendingAcks[:0]
+	e.stats.AcksOut += uint64(len(acks))
+
+	if e.cfg.AckOffload && len(acks) > 1 {
+		// Build one template: the first ACK packet plus the remaining
+		// ACK numbers (§4.2).
+		e.meter.Charge(cycles.Tx, e.params.TCPMakeAck+
+			uint64(len(acks)-1)*e.params.AckTemplatePerAck+
+			e.params.LockCost(e.params.TxLockOps))
+		skb := e.buildAck(acks[0])
+		skb.TemplateAcks = append([]uint32(nil), acks[1:]...)
+		e.stats.AckTemplatesOut++
+		e.stats.AckPacketsOut += uint64(len(acks))
+		e.output(skb)
+		return
+	}
+	for _, a := range acks {
+		e.meter.Charge(cycles.Tx, e.params.TCPMakeAck+e.params.LockCost(e.params.TxLockOps))
+		e.stats.AckPacketsOut++
+		e.output(e.buildAck(a))
+	}
+}
+
+// buildAck constructs a pure-ACK frame SKB.
+func (e *Endpoint) buildAck(ackNum uint32) *buf.SKB {
+	e.ipID++
+	frame := packet.MustBuild(packet.TCPSpec{
+		SrcMAC: e.cfg.LocalMAC, DstMAC: e.cfg.RemoteMAC,
+		SrcIP: e.cfg.LocalIP, DstIP: e.cfg.RemoteIP,
+		SrcPort: e.cfg.LocalPort, DstPort: e.cfg.RemotePort,
+		Seq: e.sndNxt, Ack: ackNum,
+		Flags:  tcpwire.FlagACK,
+		Window: e.advertisedWindow(),
+		HasTS:  e.cfg.UseTimestamps, TSVal: e.tsNow(), TSEcr: e.tsRecent,
+		IPID: e.ipID,
+	})
+	skb := e.alloc.NewAck(frame, ether.HeaderLen)
+	return skb
+}
+
+// advertisedWindow returns the scaled window field value.
+func (e *Endpoint) advertisedWindow() uint16 {
+	w := e.cfg.RcvWnd >> e.cfg.WScale
+	return uint16(minInt(w, 0xffff))
+}
+
+// output delivers an SKB to the stack, panicking if unwired: dropping
+// ACKs silently would deadlock the simulation.
+func (e *Endpoint) output(skb *buf.SKB) {
+	if e.Output == nil {
+		panic("tcp: endpoint Output not wired")
+	}
+	e.stats.SegsOut++
+	e.Output(skb)
+}
+
+// queueOOO inserts payload runs into the out-of-order queue.
+func (e *Endpoint) queueOOO(seq uint32, runs [][]byte) {
+	s := seq
+	for _, run := range runs {
+		if len(run) == 0 {
+			continue
+		}
+		cp := append([]byte(nil), run...)
+		e.insertOOO(oooSegment{seq: s, data: cp})
+		s += uint32(len(run))
+	}
+}
+
+// insertOOO keeps the queue sorted by sequence number, dropping exact
+// duplicates.
+func (e *Endpoint) insertOOO(seg oooSegment) {
+	for i, q := range e.ooo {
+		if seg.seq == q.seq {
+			return
+		}
+		if seqLT(seg.seq, q.seq) {
+			e.ooo = append(e.ooo[:i], append([]oooSegment{seg}, e.ooo[i:]...)...)
+			return
+		}
+	}
+	e.ooo = append(e.ooo, seg)
+}
+
+// drainOOO delivers queued segments made contiguous by new in-order data.
+func (e *Endpoint) drainOOO() {
+	for len(e.ooo) > 0 {
+		q := e.ooo[0]
+		if seqGT(q.seq, e.rcvNxt) {
+			return
+		}
+		e.ooo = e.ooo[1:]
+		if end := q.seq + uint32(len(q.data)); seqLEQ(end, e.rcvNxt) {
+			continue // fully duplicate
+		}
+		skip := e.rcvNxt - q.seq // overlap with already-received bytes
+		run := q.data[skip:]
+		e.deliverToApp(run)
+		e.rcvNxt += uint32(len(run))
+		e.countSegmentForAck(len(run), e.rcvNxt)
+	}
+}
+
+// freeSegSKB releases the segment's SKB, if it carries one.
+func (e *Endpoint) freeSegSKB(seg Segment) {
+	if seg.SKB != nil {
+		e.alloc.Free(seg.SKB)
+	}
+}
+
+// NextTimeout returns the earliest virtual deadline (delayed ACK or RTO)
+// or 0 when no timer is armed.
+func (e *Endpoint) NextTimeout() uint64 {
+	d := e.delackArm
+	if e.rtoDeadline != 0 && (d == 0 || e.rtoDeadline < d) {
+		d = e.rtoDeadline
+	}
+	return d
+}
+
+// OnTimeout fires any timers whose deadline has passed at virtual time now.
+func (e *Endpoint) OnTimeout(now uint64) {
+	if e.delackArm != 0 && now >= e.delackArm {
+		e.delackArm = 0
+		if e.ackPending {
+			e.ackPending = false
+			e.delackSegs = 0
+			e.stats.DelAckTimerFires++
+			e.queueAck(e.rcvNxt)
+			e.flushAcks()
+		}
+	}
+	if e.rtoDeadline != 0 && now >= e.rtoDeadline {
+		e.onRTO()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

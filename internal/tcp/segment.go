@@ -1,0 +1,56 @@
+package tcp
+
+import (
+	"repro/internal/buf"
+	"repro/internal/tcpwire"
+)
+
+// Segment is the TCP layer's view of one host packet delivered by the IP
+// layer: either an ordinary network packet or an aggregated packet built by
+// Receive Aggregation.
+//
+// For aggregates, Payloads holds one entry per constituent network packet
+// (in sequence order) and FragAcks holds each constituent's ACK number —
+// the §3.2 metadata the modified TCP layer needs for correct congestion
+// control and ACK generation (§3.4).
+type Segment struct {
+	// Hdr is the (possibly rewritten) TCP header of the host packet.
+	Hdr tcpwire.Header
+	// Payloads are the payload byte runs, one per constituent packet.
+	// Empty for pure ACKs.
+	Payloads [][]byte
+	// FragAcks are the constituent packets' ACK numbers. For ordinary
+	// packets it has one entry equal to Hdr.Ack.
+	FragAcks []uint32
+	// NetPackets is the number of network packets represented.
+	NetPackets int
+	// Aggregated marks segments built by Receive Aggregation.
+	Aggregated bool
+	// SKB, when non-nil, is freed by the endpoint once processing
+	// completes.
+	SKB *buf.SKB
+}
+
+// TotalPayloadLen returns the number of payload bytes across all runs.
+func (s *Segment) TotalPayloadLen() int {
+	n := 0
+	for _, p := range s.Payloads {
+		n += len(p)
+	}
+	return n
+}
+
+// Sequence-number arithmetic modulo 2^32 (RFC 793 §3.3).
+
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqGT(a, b uint32) bool  { return int32(a-b) > 0 }
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqMax returns the later of two sequence numbers.
+func seqMax(a, b uint32) uint32 {
+	if seqGT(a, b) {
+		return a
+	}
+	return b
+}

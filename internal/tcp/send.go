@@ -1,0 +1,232 @@
+package tcp
+
+import (
+	"repro/internal/ether"
+	"repro/internal/packet"
+	"repro/internal/tcpwire"
+)
+
+// This file implements the send half of the endpoint: window-limited data
+// transmission, Reno congestion control (slow start, congestion avoidance,
+// fast retransmit/recovery), and the retransmission timer. The data sender
+// in the paper's experiments is the *client* machine, which is not the
+// profiled system — but its behaviour (ACK-clocked windows, burst sizes)
+// shapes the arrival pattern at the receiver, and the §3.4 congestion
+// control correction is only observable through this code.
+
+// SetAppLimit sets the total bytes the application wants to send
+// (^uint64(0) for an unbounded stream).
+func (e *Endpoint) SetAppLimit(n uint64) { e.appLimited = n }
+
+// AppWrite makes n more bytes available for sending (request/response
+// workloads write incrementally; a fresh endpoint has nothing to send).
+func (e *Endpoint) AppWrite(n uint64) {
+	if e.appLimited == ^uint64(0) {
+		return
+	}
+	e.appLimited += n
+}
+
+// processAck handles one acknowledgment event. Called once per constituent
+// network packet of an aggregated segment (§3.4 item 1): k calls for a
+// k-fragment aggregate, identical to the unaggregated packet train.
+func (e *Endpoint) processAck(ackNum uint32) {
+	e.stats.AcksIn++
+	switch {
+	case seqGT(ackNum, e.sndNxt):
+		// Acks data we never sent; ignore (paper's stack would too).
+		return
+	case seqGT(ackNum, e.sndUna):
+		newly := ackNum - e.sndUna
+		e.sndUna = ackNum
+		e.popRtx(ackNum)
+		if e.inFastRec {
+			if seqGEQ(ackNum, e.recover) {
+				// Full recovery: deflate to ssthresh.
+				e.inFastRec = false
+				e.cwnd = e.ssthresh
+				e.dupAcks = 0
+			} else {
+				// Partial ACK: retransmit next hole.
+				e.retransmitOne()
+				e.cwnd = maxInt(e.cwnd-int(newly)+e.cfg.MSS, e.cfg.MSS)
+			}
+			e.armRTO()
+			return
+		}
+		e.dupAcks = 0
+		// Reno growth, once per ACK packet — the §3.4 invariant.
+		if e.cwnd < e.ssthresh {
+			e.cwnd += e.cfg.MSS // slow start
+		} else {
+			e.cwnd += maxInt(e.cfg.MSS*e.cfg.MSS/e.cwnd, 1) // congestion avoidance
+		}
+		if e.sndUna == e.sndNxt {
+			e.rtoDeadline = 0 // all data acked
+		} else {
+			e.armRTO()
+		}
+	case ackNum == e.sndUna && e.sndUna != e.sndNxt:
+		// Duplicate ACK with data outstanding.
+		e.stats.DupAcksIn++
+		e.dupAcks++
+		if e.inFastRec {
+			e.cwnd += e.cfg.MSS // inflate
+			return
+		}
+		if e.dupAcks == 3 {
+			// Fast retransmit (RFC 2581).
+			e.stats.FastRetransmits++
+			e.ssthresh = maxInt(e.flightSize()/2, 2*e.cfg.MSS)
+			e.cwnd = e.ssthresh + 3*e.cfg.MSS
+			e.inFastRec = true
+			e.recover = e.sndNxt
+			e.retransmitOne()
+			e.armRTO()
+		}
+	}
+}
+
+// flightSize returns the bytes in flight.
+func (e *Endpoint) flightSize() int { return int(e.sndNxt - e.sndUna) }
+
+// SendWindowAvail returns how many payload bytes the window currently
+// permits sending.
+func (e *Endpoint) SendWindowAvail() int {
+	wnd := minInt(e.cwnd, e.sndWnd)
+	avail := wnd - e.flightSize()
+	if avail < 0 {
+		return 0
+	}
+	if e.appLimited != ^uint64(0) {
+		if remaining := int64(e.appLimited) - int64(e.sndNxt-e.cfg.ISS); remaining < int64(avail) {
+			if remaining < 0 {
+				return 0
+			}
+			avail = int(remaining)
+		}
+	}
+	return avail
+}
+
+// HasDataToSend reports whether the window admits at least one byte.
+func (e *Endpoint) HasDataToSend() bool { return e.SendWindowAvail() > 0 }
+
+// NextDataFrame builds the next data frame the window permits, up to
+// maxPayload bytes (0 means one MSS), returning nil when the window is
+// closed. The frame carries the current cumulative ACK (piggybacked), so
+// any pending delayed ACK is satisfied by it.
+func (e *Endpoint) NextDataFrame(maxPayload int) []byte {
+	avail := e.SendWindowAvail()
+	if avail <= 0 {
+		return nil
+	}
+	size := e.cfg.MSS
+	if maxPayload > 0 && maxPayload < size {
+		size = maxPayload
+	}
+	if size > avail {
+		size = avail
+	}
+	payload := make([]byte, size)
+	e.cfg.Source(e.sndNxt, payload)
+
+	e.ipID++
+	frame := packet.MustBuild(packet.TCPSpec{
+		SrcMAC: e.cfg.LocalMAC, DstMAC: e.cfg.RemoteMAC,
+		SrcIP: e.cfg.LocalIP, DstIP: e.cfg.RemoteIP,
+		SrcPort: e.cfg.LocalPort, DstPort: e.cfg.RemotePort,
+		Seq: e.sndNxt, Ack: e.rcvNxt,
+		Flags:  tcpwire.FlagACK | tcpwire.FlagPSH,
+		Window: e.advertisedWindow(),
+		HasTS:  e.cfg.UseTimestamps, TSVal: e.tsNow(), TSEcr: e.tsRecent,
+		IPID:    e.ipID,
+		Payload: payload,
+	})
+
+	e.rtx = append(e.rtx, sentSegment{seq: e.sndNxt, length: size})
+	e.sndNxt += uint32(size)
+	e.stats.SegsOut++
+	e.stats.BytesOut += uint64(size)
+	// Data carries the cumulative ACK: any pending delayed ACK rides it.
+	e.ackPending = false
+	e.delackSegs = 0
+	e.delackArm = 0
+	e.armRTO()
+	return frame
+}
+
+// SendDataSKB builds the next permitted data frame and wraps it in an SKB
+// for in-stack transmission (used by the request/response workload where
+// both sides live inside simulated machines).
+func (e *Endpoint) SendDataSKB(maxPayload int) bool {
+	frame := e.NextDataFrame(maxPayload)
+	if frame == nil {
+		return false
+	}
+	skb := e.alloc.NewData(frame, ether.HeaderLen)
+	e.output(skb)
+	return true
+}
+
+// popRtx discards retransmit entries fully covered by ackNum.
+func (e *Endpoint) popRtx(ackNum uint32) {
+	i := 0
+	for ; i < len(e.rtx); i++ {
+		if seqGT(e.rtx[i].seq+uint32(e.rtx[i].length), ackNum) {
+			break
+		}
+	}
+	e.rtx = e.rtx[i:]
+}
+
+// retransmitOne rebuilds and resends the earliest unacknowledged segment.
+func (e *Endpoint) retransmitOne() {
+	if len(e.rtx) == 0 {
+		return
+	}
+	s := e.rtx[0]
+	payload := make([]byte, s.length)
+	e.cfg.Source(s.seq, payload)
+	e.ipID++
+	frame := packet.MustBuild(packet.TCPSpec{
+		SrcMAC: e.cfg.LocalMAC, DstMAC: e.cfg.RemoteMAC,
+		SrcIP: e.cfg.LocalIP, DstIP: e.cfg.RemoteIP,
+		SrcPort: e.cfg.LocalPort, DstPort: e.cfg.RemotePort,
+		Seq: s.seq, Ack: e.rcvNxt,
+		Flags:  tcpwire.FlagACK | tcpwire.FlagPSH,
+		Window: e.advertisedWindow(),
+		HasTS:  e.cfg.UseTimestamps, TSVal: e.tsNow(), TSEcr: e.tsRecent,
+		IPID:    e.ipID,
+		Payload: payload,
+	})
+	if e.OnRetransmit != nil {
+		e.OnRetransmit(frame)
+	} else if e.Output != nil {
+		skb := e.alloc.NewData(frame, ether.HeaderLen)
+		e.output(skb)
+	}
+}
+
+// onRTO fires the retransmission timeout: classic Reno collapse.
+func (e *Endpoint) onRTO() {
+	e.rtoDeadline = 0
+	if e.sndUna == e.sndNxt {
+		return
+	}
+	e.stats.RTOs++
+	e.ssthresh = maxInt(e.flightSize()/2, 2*e.cfg.MSS)
+	e.cwnd = e.cfg.MSS
+	e.dupAcks = 0
+	e.inFastRec = false
+	e.retransmitOne()
+	e.armRTO()
+}
+
+// armRTO (re)arms the retransmission timer.
+func (e *Endpoint) armRTO() {
+	if e.cfg.RTONs == 0 {
+		return
+	}
+	e.rtoDeadline = e.clock() + e.cfg.RTONs
+}

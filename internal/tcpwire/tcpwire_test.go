@@ -1,0 +1,309 @@
+package tcpwire
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ipv4"
+)
+
+var srcIP = ipv4.Addr{192, 168, 0, 1}
+var dstIP = ipv4.Addr{192, 168, 0, 199}
+
+func sampleHeader() Header {
+	return Header{
+		SrcPort:      5001,
+		DstPort:      33000,
+		Seq:          0x1000_0000,
+		Ack:          0x2000_0000,
+		Flags:        FlagACK | FlagPSH,
+		Window:       65535,
+		HasTimestamp: true,
+		TSVal:        12345,
+		TSEcr:        54321,
+	}
+}
+
+func serialize(t *testing.T, h Header, payload []byte) []byte {
+	t.Helper()
+	seg := make([]byte, h.Len()+len(payload))
+	if err := h.Put(seg); err != nil {
+		t.Fatal(err)
+	}
+	copy(seg[h.Len():], payload)
+	if err := SetChecksum(seg, srcIP, dstIP); err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestPutParseRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	seg := serialize(t, h, []byte("payload"))
+	got, err := Parse(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != h.SrcPort || got.DstPort != h.DstPort ||
+		got.Seq != h.Seq || got.Ack != h.Ack || got.Flags != h.Flags ||
+		got.Window != h.Window {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	if !got.HasTimestamp || got.TSVal != h.TSVal || got.TSEcr != h.TSEcr {
+		t.Errorf("timestamp option lost: %+v", got)
+	}
+	if !got.TimestampOnly {
+		t.Error("TimestampOnly = false for canonical NOP,NOP,TS layout")
+	}
+	if got.OtherOptions {
+		t.Error("OtherOptions = true for timestamp-only header")
+	}
+	if got.DataOff != TimestampHeaderLen {
+		t.Errorf("DataOff = %d, want %d", got.DataOff, TimestampHeaderLen)
+	}
+}
+
+func TestNoOptionsHeader(t *testing.T) {
+	h := sampleHeader()
+	h.HasTimestamp = false
+	seg := serialize(t, h, nil)
+	got, err := Parse(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataOff != MinHeaderLen || got.HasTimestamp || got.TimestampOnly {
+		t.Errorf("option-less header misparsed: %+v", got)
+	}
+}
+
+func TestChecksumVerification(t *testing.T) {
+	seg := serialize(t, sampleHeader(), []byte("some tcp payload bytes"))
+	if !VerifyChecksum(seg, srcIP, dstIP) {
+		t.Fatal("freshly serialized segment fails checksum")
+	}
+	seg[25] ^= 0x10
+	if VerifyChecksum(seg, srcIP, dstIP) {
+		t.Error("corrupted segment passes checksum")
+	}
+	// Wrong pseudo-header must fail too.
+	seg[25] ^= 0x10
+	if VerifyChecksum(seg, srcIP, ipv4.Addr{192, 168, 0, 200}) {
+		t.Error("segment passes checksum under wrong pseudo-header")
+	}
+}
+
+func TestParseRejectsBadHeaders(t *testing.T) {
+	if _, err := Parse(make([]byte, 10)); err == nil {
+		t.Error("expected error for short segment")
+	}
+	seg := serialize(t, sampleHeader(), nil)
+	seg[12] = 0x10 // data offset 4 < 20
+	if _, err := Parse(seg); err == nil {
+		t.Error("expected error for bad data offset")
+	}
+	seg[12] = 0xf0 // data offset 60 > segment length
+	if _, err := Parse(seg[:24]); err == nil {
+		t.Error("expected error for truncated options")
+	}
+}
+
+func TestParseSACKOption(t *testing.T) {
+	// Hand-built header with SACK-permitted: must be flagged as
+	// OtherOptions so aggregation skips it (paper §3.6 example 2).
+	b := make([]byte, 24)
+	h := Header{SrcPort: 1, DstPort: 2, Flags: FlagACK}
+	if err := h.Put(b[:20]); err != nil {
+		t.Fatal(err)
+	}
+	b[12] = byte(24/4) << 4
+	b[20], b[21] = OptSACKPerm, 2
+	b[22], b[23] = OptNOP, OptNOP
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OtherOptions {
+		t.Error("SACK-permitted not reported as OtherOptions")
+	}
+	if got.TimestampOnly {
+		t.Error("TimestampOnly = true with SACK option present")
+	}
+}
+
+func TestParseTimestampPlusOtherOption(t *testing.T) {
+	// TS + MSS: HasTimestamp true but TimestampOnly false.
+	b := make([]byte, 36)
+	h := Header{SrcPort: 1, DstPort: 2, Flags: FlagSYN}
+	if err := h.Put(b[:20]); err != nil {
+		t.Fatal(err)
+	}
+	b[12] = byte(36/4) << 4
+	b[20], b[21] = OptMSS, 4
+	binary.BigEndian.PutUint16(b[22:24], 1460)
+	b[24], b[25] = OptNOP, OptNOP
+	b[26], b[27] = OptTimestamps, TimestampOptLen
+	binary.BigEndian.PutUint32(b[28:32], 111)
+	binary.BigEndian.PutUint32(b[32:36], 222)
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasTimestamp || got.TSVal != 111 || got.TSEcr != 222 {
+		t.Errorf("timestamp misparsed: %+v", got)
+	}
+	if got.TimestampOnly {
+		t.Error("TimestampOnly = true with MSS option present")
+	}
+	if !got.OtherOptions {
+		t.Error("OtherOptions = false with MSS option present")
+	}
+}
+
+func TestRawOptionsRoundTrip(t *testing.T) {
+	// A parsed header re-serializes its original option bytes verbatim.
+	orig := serialize(t, sampleHeader(), nil)
+	h, err := Parse(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, h.Len())
+	if err := h.Put(out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if i == OffChecksum || i == OffChecksum+1 {
+			continue // checksum zeroed by Put until SetChecksum
+		}
+		if out[i] != orig[i] {
+			t.Fatalf("byte %d differs after reserialization: %#02x vs %#02x", i, out[i], orig[i])
+		}
+	}
+}
+
+func TestPatchAckMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		h := sampleHeader()
+		h.Ack = rng.Uint32()
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		seg := serialize(t, h, payload)
+
+		newAck := rng.Uint32()
+		patched := append([]byte{}, seg...)
+		if err := PatchAck(patched, newAck); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: serialize a fresh header with the new ACK.
+		h2 := h
+		h2.Ack = newAck
+		want := serialize(t, h2, payload)
+
+		if len(patched) != len(want) {
+			t.Fatalf("length mismatch: %d vs %d", len(patched), len(want))
+		}
+		for i := range want {
+			if patched[i] != want[i] {
+				t.Fatalf("trial %d: byte %d differs: %#02x vs %#02x",
+					trial, i, patched[i], want[i])
+			}
+		}
+		if !VerifyChecksum(patched, srcIP, dstIP) {
+			t.Fatalf("trial %d: patched segment fails checksum", trial)
+		}
+	}
+}
+
+func TestPatchAckSameValueNoop(t *testing.T) {
+	seg := serialize(t, sampleHeader(), nil)
+	orig := append([]byte{}, seg...)
+	if err := PatchAck(seg, sampleHeader().Ack); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seg {
+		if seg[i] != orig[i] {
+			t.Fatalf("byte %d changed on no-op patch", i)
+		}
+	}
+	if err := PatchAck(make([]byte, 5), 1); err == nil {
+		t.Error("expected error for short segment")
+	}
+}
+
+func TestFieldOffsets(t *testing.T) {
+	seg := serialize(t, sampleHeader(), nil)
+	if got := binary.BigEndian.Uint32(seg[OffSeq:]); got != sampleHeader().Seq {
+		t.Errorf("OffSeq misaligned: %#x", got)
+	}
+	if got := binary.BigEndian.Uint32(seg[OffAck:]); got != sampleHeader().Ack {
+		t.Errorf("OffAck misaligned: %#x", got)
+	}
+	if got := binary.BigEndian.Uint16(seg[OffWindow:]); got != sampleHeader().Window {
+		t.Errorf("OffWindow misaligned: %d", got)
+	}
+	if got := binary.BigEndian.Uint32(seg[OffTSVal:]); got != sampleHeader().TSVal {
+		t.Errorf("OffTSVal misaligned: %d", got)
+	}
+	if got := binary.BigEndian.Uint32(seg[OffTSEcr:]); got != sampleHeader().TSEcr {
+		t.Errorf("OffTSEcr misaligned: %d", got)
+	}
+}
+
+// Property: PatchAck on a checksummed segment always leaves a segment that
+// verifies, for any ack value.
+func TestPatchAckChecksum_Quick(t *testing.T) {
+	f := func(oldAck, newAck uint32, seed int64) bool {
+		h := sampleHeader()
+		h.Ack = oldAck
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, rng.Intn(32))
+		rng.Read(payload)
+		seg := make([]byte, h.Len()+len(payload))
+		if err := h.Put(seg); err != nil {
+			return false
+		}
+		copy(seg[h.Len():], payload)
+		if err := SetChecksum(seg, srcIP, dstIP); err != nil {
+			return false
+		}
+		if err := PatchAck(seg, newAck); err != nil {
+			return false
+		}
+		return VerifyChecksum(seg, srcIP, dstIP)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parse(put(h)) preserves the five-tuple-relevant fields for
+// arbitrary values.
+func TestHeaderRoundTrip_Quick(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, win uint16, flags uint8, ts bool, tsval, tsecr uint32) bool {
+		h := Header{
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack,
+			Flags: flags & 0x3f, Window: win,
+			HasTimestamp: ts, TSVal: tsval, TSEcr: tsecr,
+		}
+		b := make([]byte, h.Len())
+		if err := h.Put(b); err != nil {
+			return false
+		}
+		got, err := Parse(b)
+		if err != nil {
+			return false
+		}
+		ok := got.SrcPort == sp && got.DstPort == dp && got.Seq == seq &&
+			got.Ack == ack && got.Window == win && got.Flags == flags&0x3f
+		if ts {
+			ok = ok && got.HasTimestamp && got.TSVal == tsval && got.TSEcr == tsecr
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

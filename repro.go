@@ -1,0 +1,125 @@
+// Package repro reproduces "Optimizing TCP Receive Performance"
+// (Menon & Zwaenepoel, USENIX ATC 2008) as a simulation-backed Go library.
+//
+// The paper's two contributions — Receive Aggregation (a software LRO below
+// the network stack) and Acknowledgment Offload (ACK template expansion at
+// the driver) — are implemented over a full functional substrate: Ethernet/
+// IPv4/TCP codecs, an sk_buff-style buffer layer, NAPI-style drivers with
+// e1000-like NIC models, a TCP endpoint with the paper's §3.4 protocol
+// modifications, a Xen-like network virtualization stack, and a calibrated
+// cycle-cost model that reprices the receive path under hardware
+// prefetching (the paper's §2 architectural argument).
+//
+// This facade exposes the experiment runners that regenerate every table
+// and figure of the paper's evaluation; see EXPERIMENTS.md for the
+// paper-vs-measured record and DESIGN.md for the substitution rationale.
+//
+// Quick start:
+//
+//	res, err := repro.RunStream(repro.StreamConfig{
+//		System: repro.SystemNativeUP,
+//		Opt:    repro.OptFull,
+//		NICs:   5,
+//	})
+//	fmt.Printf("%.0f Mb/s at %.0f%% CPU\n", res.ThroughputMbps, res.CPUUtil*100)
+package repro
+
+import (
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/memmodel"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+// Systems under test (paper §5).
+const (
+	// SystemNativeUP is the uniprocessor Linux receiver.
+	SystemNativeUP = sim.SystemNativeUP
+	// SystemNativeSMP is the dual-core SMP Linux receiver.
+	SystemNativeSMP = sim.SystemNativeSMP
+	// SystemXen is the Linux guest on the Xen VMM.
+	SystemXen = sim.SystemXen
+)
+
+// Receive-path variants.
+const (
+	// OptNone is the unmodified stack ("Original").
+	OptNone = sim.OptNone
+	// OptAggregation enables Receive Aggregation only.
+	OptAggregation = sim.OptAggregation
+	// OptFull enables both optimizations ("Optimized").
+	OptFull = sim.OptFull
+)
+
+// Prefetch configurations (paper Figure 1).
+const (
+	PrefetchNone    = memmodel.PrefetchNone
+	PrefetchPartial = memmodel.PrefetchPartial
+	PrefetchFull    = memmodel.PrefetchFull
+)
+
+// Re-exported experiment types: see internal/sim for field documentation.
+type (
+	// SystemKind selects the receiver machine.
+	SystemKind = sim.SystemKind
+	// OptLevel selects the receive-path variant.
+	OptLevel = sim.OptLevel
+	// StreamConfig configures a bulk-receive experiment (§5.1).
+	StreamConfig = sim.StreamConfig
+	// StreamResult reports a bulk-receive run.
+	StreamResult = sim.StreamResult
+	// RRConfig configures a request/response experiment (§5.4).
+	RRConfig = sim.RRConfig
+	// RRResult reports a request/response run.
+	RRResult = sim.RRResult
+	// Breakdown is a per-packet cycle breakdown by overhead category.
+	Breakdown = cycles.Breakdown
+	// Category is one overhead category (per-byte, rx, buffer, ...).
+	Category = cycles.Category
+	// CostParams is a machine cost profile.
+	CostParams = cost.Params
+)
+
+// RunStream executes one bulk-receive experiment.
+func RunStream(cfg StreamConfig) (StreamResult, error) { return sim.RunStream(cfg) }
+
+// RunRR executes one request/response experiment.
+func RunRR(cfg RRConfig) (RRResult, error) { return sim.RunRR(cfg) }
+
+// DefaultStreamConfig mirrors the paper's five-NIC bulk setup.
+func DefaultStreamConfig(system SystemKind, opt OptLevel) StreamConfig {
+	return sim.DefaultStreamConfig(system, opt)
+}
+
+// DefaultRRConfig mirrors the paper's latency check.
+func DefaultRRConfig(system SystemKind, opt OptLevel) RRConfig {
+	return sim.DefaultRRConfig(system, opt)
+}
+
+// Machine cost profiles.
+func NativeUP() CostParams   { return cost.NativeUP() }
+func NativeUP38() CostParams { return cost.NativeUP38() }
+func NativeSMP() CostParams  { return cost.NativeSMP() }
+func XenGuest() CostParams   { return cost.XenGuest() }
+
+// FormatBreakdown renders an OProfile-style table of a breakdown using the
+// native category order.
+func FormatBreakdown(title string, b Breakdown) string {
+	return profile.Table(title, b, profile.NativeCategories)
+}
+
+// FormatXenBreakdown renders the Xen category order (Figures 6 and 10).
+func FormatXenBreakdown(title string, b Breakdown) string {
+	return profile.Table(title, b, profile.XenCategories)
+}
+
+// FormatComparison renders Original-vs-Optimized per category with
+// reduction factors (Figures 8-10).
+func FormatComparison(title string, orig, opt Breakdown, xen bool) string {
+	cats := profile.NativeCategories
+	if xen {
+		cats = profile.XenCategories
+	}
+	return profile.Comparison(title, "Original", "Optimized", orig, opt, cats)
+}

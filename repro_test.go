@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeStream(t *testing.T) {
+	cfg := DefaultStreamConfig(SystemNativeUP, OptFull)
+	cfg.DurationNs = 30_000_000
+	cfg.WarmupNs = 15_000_000
+	res, err := RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputMbps < 4000 {
+		t.Errorf("optimized UP throughput = %.0f Mb/s", res.ThroughputMbps)
+	}
+	out := FormatBreakdown("test", res.Breakdown)
+	if !strings.Contains(out, "aggr") {
+		t.Errorf("breakdown missing aggr category:\n%s", out)
+	}
+}
+
+func TestFacadeRR(t *testing.T) {
+	cfg := DefaultRRConfig(SystemNativeUP, OptNone)
+	cfg.DurationNs = 50_000_000
+	res, err := RunRR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestsPerSec < 7000 || res.RequestsPerSec > 9000 {
+		t.Errorf("RR rate = %.0f req/s", res.RequestsPerSec)
+	}
+}
+
+func TestFacadeProfiles(t *testing.T) {
+	for _, p := range []CostParams{NativeUP(), NativeUP38(), NativeSMP(), XenGuest()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestFacadeComparison(t *testing.T) {
+	short := func(opt OptLevel) StreamResult {
+		cfg := DefaultStreamConfig(SystemXen, opt)
+		cfg.DurationNs = 30_000_000
+		cfg.WarmupNs = 15_000_000
+		res, err := RunStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	orig := short(OptNone)
+	opt := short(OptFull)
+	out := FormatComparison("Figure 10", orig.Breakdown, opt.Breakdown, true)
+	for _, want := range []string{"netback", "netfront", "xen", "factor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Xen comparison missing %q:\n%s", want, out)
+		}
+	}
+}
