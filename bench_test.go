@@ -262,6 +262,57 @@ func BenchmarkTable1_RequestResponse(b *testing.B) {
 	}
 }
 
+// BenchmarkRSS_QueueScaling goes beyond the paper: aggregate throughput
+// and per-CPU utilization of the multi-queue RSS pipeline as the queue
+// count scales 1->8 over a 200-flow, 8-link workload (the N=1 row is the
+// paper's single-softirq receiver; 8 links keep the wire ceiling above
+// what 2 CPUs can chew).
+func BenchmarkRSS_QueueScaling(b *testing.B) {
+	queues := []int{1, 2, 4, 8}
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			fmt.Println("RSS queue scaling (UP baseline, 200 flows, 8 links; 1 queue is the paper's machine)")
+			fmt.Printf("  %-7s %10s %8s  %s\n", "queues", "Mb/s", "util", "per-CPU util")
+		}
+		for _, q := range queues {
+			cfg := DefaultStreamConfig(SystemNativeUP, OptNone)
+			cfg.NICs = 8
+			cfg.Connections = 200
+			cfg.Queues = q
+			res := benchStream(b, cfg)
+			b.ReportMetric(res.ThroughputMbps, fmt.Sprintf("Mbps_q%d", q))
+			if i == 0 {
+				per := ""
+				for _, u := range res.PerCPUUtil {
+					per += fmt.Sprintf(" %4.0f%%", u*100)
+				}
+				fmt.Printf("  %-7d %10.0f %7.0f%% %s\n", q, res.ThroughputMbps, res.CPUUtil*100, per)
+			}
+		}
+	}
+}
+
+// BenchmarkRSS_ManyFlowChurn exercises the production-shaped workload:
+// 400 zipf-skewed flows with connection churn on a 4-queue optimized
+// pipeline.
+func BenchmarkRSS_ManyFlowChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultStreamConfig(SystemNativeUP, OptFull)
+		cfg.Connections = 400
+		cfg.Queues = 4
+		cfg.FlowSkew = 1.1
+		cfg.ChurnIntervalNs = 2_000_000
+		res := benchStream(b, cfg)
+		b.ReportMetric(res.ThroughputMbps, "Mbps")
+		b.ReportMetric(res.AggFactor, "agg_factor")
+		b.ReportMetric(float64(res.FlowsTornDown), "flows_churned")
+		if i == 0 {
+			fmt.Printf("400 skewed flows, 4 queues: %.0f Mb/s at %.0f%% mean CPU, agg %.1f, %d churned\n",
+				res.ThroughputMbps, res.CPUUtil*100, res.AggFactor, res.FlowsTornDown)
+		}
+	}
+}
+
 // BenchmarkAblation_AggLimitOne checks §5.5: an Aggregation Limit of 1
 // (the engine on the path but never coalescing) must not degrade
 // performance relative to the baseline.

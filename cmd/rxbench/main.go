@@ -21,7 +21,7 @@ import (
 
 var (
 	experiment = flag.String("experiment", "all",
-		"experiment to run: all, fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, limit1")
+		"experiment to run: all, fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, limit1, rss, churn")
 	duration = flag.Duration("duration", 150*time.Millisecond, "measured virtual duration per run")
 	warmup   = flag.Duration("warmup", 40*time.Millisecond, "virtual warm-up before measurement")
 )
@@ -45,10 +45,12 @@ func main() {
 		"fig12":  fig12,
 		"table1": table1,
 		"limit1": limit1,
+		"rss":    rssScaling,
+		"churn":  churn,
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "table1", "limit1"} {
+			"fig8", "fig9", "fig10", "fig11", "fig12", "table1", "limit1", "rss", "churn"} {
 			runners[name]()
 			fmt.Println()
 		}
@@ -209,6 +211,48 @@ func table1() {
 			(f.RequestsPerSec/o.RequestsPerSec-1)*100)
 	}
 	fmt.Println("(paper: UP 7874/7894, SMP 7970/7985, Xen 6965/6953 — no noticeable impact)")
+}
+
+// rssScaling is the multi-queue experiment beyond the paper: aggregate
+// throughput and per-CPU utilization as RSS queue count scales 1->8, for
+// the baseline and the optimized receive path.
+func rssScaling() {
+	fmt.Println("RSS queue scaling (UP, 200 flows, 8 links; 1 queue = the paper's single-softirq receiver)")
+	fmt.Printf("%-7s %-10s %10s %10s %8s  %s\n",
+		"queues", "path", "Mb/s", "cyc/pkt", "util", "per-CPU util")
+	for _, opt := range []repro.OptLevel{repro.OptNone, repro.OptFull} {
+		for _, q := range []int{1, 2, 4, 8} {
+			cfg := repro.DefaultStreamConfig(repro.SystemNativeUP, opt)
+			cfg.NICs = 8
+			cfg.Connections = 200
+			cfg.Queues = q
+			res := stream(cfg)
+			per := ""
+			for _, u := range res.PerCPUUtil {
+				per += fmt.Sprintf(" %3.0f%%", u*100)
+			}
+			fmt.Printf("%-7d %-10s %10.0f %10.0f %7.0f%% %s\n",
+				q, opt, res.ThroughputMbps, res.CyclesPerPacket, res.CPUUtil*100, per)
+		}
+	}
+	fmt.Println("(link limit is ~7532 Mb/s over 8 NICs: scaling ends where the wire does)")
+}
+
+// churn is the production-shaped workload: hundreds of zipf-skewed flows
+// with connection arrival/teardown churn on a 4-queue pipeline.
+func churn() {
+	fmt.Println("Many-flow churn (UP, 400 zipf-skewed flows, churn every 2ms, 4 queues)")
+	fmt.Printf("%-10s %10s %8s %8s %10s\n", "path", "Mb/s", "util", "agg", "churned")
+	for _, opt := range []repro.OptLevel{repro.OptNone, repro.OptFull} {
+		cfg := repro.DefaultStreamConfig(repro.SystemNativeUP, opt)
+		cfg.Connections = 400
+		cfg.Queues = 4
+		cfg.FlowSkew = 1.1
+		cfg.ChurnIntervalNs = 2_000_000
+		res := stream(cfg)
+		fmt.Printf("%-10s %10.0f %7.0f%% %8.1f %10d\n",
+			opt, res.ThroughputMbps, res.CPUUtil*100, res.AggFactor, res.FlowsTornDown)
+	}
 }
 
 func limit1() {

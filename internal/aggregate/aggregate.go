@@ -270,6 +270,7 @@ func (e *Engine) matches(p *pending, th *tcpwire.Header) bool {
 func (e *Engine) start(key FlowKey, f nic.Frame, ih *ipv4.Header, th *tcpwire.Header, payloadLen int) {
 	skb := e.alloc.NewData(f.Data, ether.HeaderLen)
 	skb.CsumVerified = true
+	skb.RSSHash = f.RSSHash
 	skb.FirstAck = th.Ack
 	p := &pending{
 		key:     key,
@@ -402,6 +403,7 @@ func (e *Engine) rewriteHeader(p *pending) {
 func (e *Engine) passthrough(f nic.Frame) {
 	skb := e.alloc.NewData(f.Data, ether.HeaderLen)
 	skb.CsumVerified = f.RxCsumOK
+	skb.RSSHash = f.RSSHash
 	e.stats.HostOut++
 	if e.Out == nil {
 		panic("aggregate: Out not wired")

@@ -64,6 +64,10 @@ type SKB struct {
 	// CsumVerified marks the transport checksum as already validated
 	// (by NIC offload, propagated through aggregation, §3.2).
 	CsumVerified bool
+	// RSSHash is the NIC's Toeplitz flow hash, propagated so the
+	// stack's sharded demux never recomputes it in software (0 = not
+	// hashed; the stack then hashes the four-tuple itself).
+	RSSHash uint32
 	// TemplateAcks, when non-nil, marks this SKB as an ACK template
 	// (paper §4.2): Head holds the first ACK packet and TemplateAcks
 	// holds the ACK numbers of the remaining ACKs to materialize at the

@@ -1,9 +1,17 @@
 // Package core wires the paper's two optimizations into the receive path:
-// it owns the per-CPU lock-free aggregation queue that the raw-mode driver
-// produces into, drives the Receive Aggregation engine from softirq
-// context, and enforces the work-conserving contract of §3.3/§3.5 — the
-// moment the queue runs empty, every partially aggregated packet is flushed
-// to the stack so that no packet ever waits while the stack is idle.
+// it owns the per-CPU softirq context whose lock-free aggregation queue
+// the raw-mode driver produces into, drives the Receive Aggregation
+// engine from softirq context, and enforces the work-conserving contract
+// of §3.3/§3.5 — the moment the queue runs empty, every partially
+// aggregated packet is flushed to the stack so that no packet ever waits
+// while the stack is idle.
+//
+// In the multi-queue RSS pipeline there is one ReceivePath per receive
+// queue (NewOnCPU), pinned to the queue's CPU. Each path owns its own
+// aggregation engine, so aggregation state is shard-local: RSS guarantees
+// a flow's frames all arrive on one queue, hence one engine ever holds a
+// given flow's pending aggregate and no cross-CPU synchronization exists
+// anywhere on the receive path.
 //
 // Acknowledgment Offload needs no pump of its own: templates are built by
 // the TCP layer (internal/tcp) and expanded by the driver
@@ -47,12 +55,20 @@ func DefaultOptions() Options {
 // ReceivePath is the optimized softirq receive path for one CPU.
 type ReceivePath struct {
 	opts   Options
-	queue  *softirq.Ring[nic.Frame]
+	ctx    *softirq.Context[nic.Frame]
 	engine *aggregate.Engine
 }
 
-// New builds a receive path delivering host packets to out.
+// New builds a CPU-0 receive path delivering host packets to out.
 func New(opts Options, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator,
+	out func(*buf.SKB)) (*ReceivePath, error) {
+	return NewOnCPU(0, opts, m, p, alloc, out)
+}
+
+// NewOnCPU builds the receive path owned by the given CPU: its softirq
+// context, aggregation queue and aggregation engine all belong to that
+// CPU alone.
+func NewOnCPU(cpu int, opts Options, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator,
 	out func(*buf.SKB)) (*ReceivePath, error) {
 	if out == nil {
 		return nil, fmt.Errorf("core: out must not be nil")
@@ -60,7 +76,7 @@ func New(opts Options, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator,
 	if opts.QueueCapacity <= 0 {
 		return nil, fmt.Errorf("core: QueueCapacity %d must be positive", opts.QueueCapacity)
 	}
-	q, err := softirq.NewRing[nic.Frame](opts.QueueCapacity)
+	ctx, err := softirq.NewContext[nic.Frame](cpu, opts.QueueCapacity)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -69,25 +85,33 @@ func New(opts Options, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator,
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	eng.Out = out
-	return &ReceivePath{opts: opts, queue: q, engine: eng}, nil
+	ctx.Handle = eng.Input
+	ctx.Idle = eng.FlushAll
+	return &ReceivePath{opts: opts, ctx: ctx, engine: eng}, nil
 }
 
 // Options returns the path's configuration.
 func (rp *ReceivePath) Options() Options { return rp.opts }
 
+// CPU returns the CPU that owns this path.
+func (rp *ReceivePath) CPU() int { return rp.ctx.CPU() }
+
 // Engine exposes the aggregation engine (stats, tests).
 func (rp *ReceivePath) Engine() *aggregate.Engine { return rp.engine }
+
+// Context exposes the softirq context (stats, tests).
+func (rp *ReceivePath) Context() *softirq.Context[nic.Frame] { return rp.ctx }
 
 // EnqueueRaw is the driver-side producer (interrupt context): it drops the
 // raw frame into the per-CPU aggregation queue. It reports false when the
 // queue is full, in which case the driver counts a drop — the same
 // behaviour as a softirq backlog overflow in Linux.
 func (rp *ReceivePath) EnqueueRaw(f nic.Frame) bool {
-	return rp.queue.Push(f)
+	return rp.ctx.Enqueue(f)
 }
 
 // QueueLen returns the number of raw frames awaiting aggregation.
-func (rp *ReceivePath) QueueLen() int { return rp.queue.Len() }
+func (rp *ReceivePath) QueueLen() int { return rp.ctx.Len() }
 
 // Process consumes up to budget raw frames from the queue through the
 // aggregation engine. When the queue runs empty — before or at the budget —
@@ -96,19 +120,7 @@ func (rp *ReceivePath) QueueLen() int { return rp.queue.Len() }
 //
 // It returns the number of frames consumed.
 func (rp *ReceivePath) Process(budget int) int {
-	n := 0
-	for n < budget {
-		f, ok := rp.queue.Pop()
-		if !ok {
-			break
-		}
-		rp.engine.Input(f)
-		n++
-	}
-	if rp.queue.Empty() {
-		rp.engine.FlushAll()
-	}
-	return n
+	return rp.ctx.Run(budget)
 }
 
 // Flush forces delivery of all partial aggregates regardless of queue

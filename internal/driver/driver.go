@@ -1,6 +1,12 @@
 // Package driver implements the NAPI-style network device driver of the
 // simulated receive path.
 //
+// One Driver instance services one receive queue of one NIC (NewQueue);
+// a multi-queue RSS NIC therefore has one driver per queue, each polled
+// from the softirq context of the CPU that owns the queue — the per-queue
+// NAPI model of multi-queue Linux drivers. New binds queue 0, which on a
+// single-queue NIC is the paper's original whole-device driver.
+//
 // The driver runs in two modes mirroring the paper:
 //
 //   - Baseline: for every received frame the driver allocates an sk_buff,
@@ -63,9 +69,11 @@ type Stats struct {
 	RawQueueFull  uint64
 }
 
-// Driver drives one NIC.
+// Driver drives one receive queue of one NIC (and can transmit on the
+// device, which is queue-agnostic).
 type Driver struct {
 	nic    *nic.NIC
+	queue  int
 	mode   Mode
 	meter  *cycles.Meter
 	params *cost.Params
@@ -81,25 +89,37 @@ type Driver struct {
 	stats Stats
 }
 
-// New creates a driver for n charging m under p.
+// New creates a driver for queue 0 of n charging m under p.
 func New(n *nic.NIC, mode Mode, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) *Driver {
+	return NewQueue(n, 0, mode, m, p, alloc)
+}
+
+// NewQueue creates a driver for receive queue q of n charging m under p.
+func NewQueue(n *nic.NIC, q int, mode Mode, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) *Driver {
 	if n == nil || m == nil || p == nil || alloc == nil {
 		panic("driver: nil dependency")
 	}
-	return &Driver{nic: n, mode: mode, meter: m, params: p, alloc: alloc}
+	if q < 0 || q >= n.RxQueues() {
+		panic(fmt.Sprintf("driver: queue %d out of range [0, %d)", q, n.RxQueues()))
+	}
+	return &Driver{nic: n, queue: q, mode: mode, meter: m, params: p, alloc: alloc}
 }
 
 // Mode returns the driver's receive mode.
 func (d *Driver) Mode() Mode { return d.mode }
 
+// Queue returns the receive queue this driver services.
+func (d *Driver) Queue() int { return d.queue }
+
 // Stats returns a copy of the driver counters.
 func (d *Driver) Stats() Stats { return d.stats }
 
-// Poll drains up to budget frames from the NIC, charging driver costs and
-// delivering each frame according to the mode. It returns the number of
-// frames processed and re-arms the NIC interrupt when the ring is empty.
+// Poll drains up to budget frames from the driver's receive queue,
+// charging driver costs and delivering each frame according to the mode.
+// It returns the number of frames processed and re-arms the queue's
+// interrupt vector when the ring is empty.
 func (d *Driver) Poll(budget int) int {
-	frames := d.nic.PollRx(budget)
+	frames := d.nic.PollRxOn(d.queue, budget)
 	for _, f := range frames {
 		d.stats.FramesPolled++
 		// Per-frame driver work: descriptor writeback handling and
@@ -116,6 +136,7 @@ func (d *Driver) Poll(budget int) int {
 				d.params.MACProcFixed+d.params.Mem.HeaderTouchCost())
 			skb := d.alloc.NewData(f.Data, ether.HeaderLen)
 			skb.CsumVerified = f.RxCsumOK
+			skb.RSSHash = f.RSSHash
 			if d.DeliverSKB != nil {
 				d.stats.SKBsDelivered++
 				d.DeliverSKB(skb)
@@ -134,8 +155,8 @@ func (d *Driver) Poll(budget int) int {
 			}
 		}
 	}
-	if d.nic.RxQueueLen() == 0 {
-		d.nic.AckInterrupt()
+	if d.nic.RxQueueLenOn(d.queue) == 0 {
+		d.nic.AckInterrupt(d.queue)
 	}
 	return len(frames)
 }

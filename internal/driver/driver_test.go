@@ -163,7 +163,7 @@ func TestPollAcksInterruptWhenDrained(t *testing.T) {
 	h := newHarness(t, ModeBaseline)
 	h.drv.DeliverSKB = func(s *buf.SKB) { h.alloc.Free(s) }
 	irqs := 0
-	h.nic.OnInterrupt = func() { irqs++ }
+	h.nic.OnInterrupt = func(int) { irqs++ }
 	for i := 0; i < 20; i++ {
 		h.nic.ReceiveFromWire(nic.Frame{Data: dataFrame(uint32(i))})
 	}

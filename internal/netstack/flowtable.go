@@ -1,0 +1,149 @@
+package netstack
+
+import (
+	"fmt"
+
+	"repro/internal/rss"
+	"repro/internal/tcp"
+)
+
+// FlowTable is the sharded TCP demultiplexing table: a power-of-two
+// number of shards, each holding the endpoints whose RSS hash falls in
+// the shard's buckets.
+//
+// Sharding replaces the flat map[FlowKey]*Endpoint for two reasons
+// ("Algorithms and Data Structures to Accelerate Network Analysis",
+// Ros-Giralt et al.): with many thousands of flows a single map walks a
+// cache-hostile bucket array shared by every CPU, and any mutation
+// (connection churn) contends on one structure. Here the shard index is
+// the same Toeplitz-hash bucket the NIC used to pick the receive queue,
+// so shard = f(bucket) and queue = bucket mod queues: every shard is only
+// ever touched by the one softirq context that owns its queue, lookups
+// stay within a CPU-local map, and churn on one shard never disturbs
+// another CPU's flows.
+type FlowTable struct {
+	shards []flowShard
+	mask   uint32
+	count  int
+}
+
+// flowShard is one shard: a private demux map plus per-shard receive
+// counters, including the pending-aggregate accounting that lets tests
+// and benchmarks observe how aggregation state distributes over shards.
+type flowShard struct {
+	conns map[FlowKey]*tcp.Endpoint
+	stats ShardStats
+}
+
+// ShardStats counts one shard's demux activity.
+type ShardStats struct {
+	// Endpoints is the current number of registered flows.
+	Endpoints int
+	// HostPackets and NetPackets count delivered traffic.
+	HostPackets, NetPackets uint64
+	// Aggregates counts delivered multi-frame host packets — the
+	// shard-local share of pending-aggregate state that was flushed
+	// through this shard.
+	Aggregates uint64
+	// Misses counts lookups that found no endpoint.
+	Misses uint64
+}
+
+// DefaultFlowShards is the default shard count: equal to the RSS
+// indirection table size, so shard index and steering bucket coincide.
+const DefaultFlowShards = rss.Buckets
+
+// NewFlowTable creates a table with the given power-of-two shard count
+// (0 = DefaultFlowShards).
+func NewFlowTable(shards int) (*FlowTable, error) {
+	if shards == 0 {
+		shards = DefaultFlowShards
+	}
+	if err := rss.ValidShards(shards); err != nil {
+		return nil, fmt.Errorf("netstack: %w", err)
+	}
+	t := &FlowTable{shards: make([]flowShard, shards), mask: uint32(shards - 1)}
+	for i := range t.shards {
+		t.shards[i].conns = make(map[FlowKey]*tcp.Endpoint)
+	}
+	return t, nil
+}
+
+// hashOf computes the key's RSS hash. The packet's own addressing is the
+// key (Src = remote peer), matching what the NIC hashed on the wire.
+func hashOf(k FlowKey) uint32 {
+	return rss.HashTCP4(k.Src, k.Dst, k.SrcPort, k.DstPort)
+}
+
+// ShardOf returns the index of the shard owning key.
+func (t *FlowTable) ShardOf(k FlowKey) int {
+	return rss.ShardOf(hashOf(k), len(t.shards))
+}
+
+// Shards returns the shard count.
+func (t *FlowTable) Shards() int { return len(t.shards) }
+
+// Len returns the total number of registered endpoints.
+func (t *FlowTable) Len() int { return t.count }
+
+// Insert registers ep under k; duplicate keys error.
+func (t *FlowTable) Insert(k FlowKey, ep *tcp.Endpoint) error {
+	s := &t.shards[t.ShardOf(k)]
+	if _, dup := s.conns[k]; dup {
+		return fmt.Errorf("netstack: duplicate registration for %v:%d->%v:%d",
+			k.Src, k.SrcPort, k.Dst, k.DstPort)
+	}
+	s.conns[k] = ep
+	s.stats.Endpoints++
+	t.count++
+	return nil
+}
+
+// Remove unregisters the endpoint bound to k, reporting whether it
+// existed.
+func (t *FlowTable) Remove(k FlowKey) bool {
+	s := &t.shards[t.ShardOf(k)]
+	if _, ok := s.conns[k]; !ok {
+		return false
+	}
+	delete(s.conns, k)
+	s.stats.Endpoints--
+	t.count--
+	return true
+}
+
+// Lookup demuxes k, recording the delivery (netPackets frames in one host
+// packet, aggregated or not) in the owning shard's counters. hash is the
+// NIC's Toeplitz hash of k when available (0 recomputes in software) —
+// on the hot path the hardware already paid for it, and it necessarily
+// equals hashOf(k) because both hash the same four-tuple. It returns nil
+// when no endpoint is bound.
+func (t *FlowTable) Lookup(k FlowKey, hash uint32, netPackets int, aggregated bool) *tcp.Endpoint {
+	if hash == 0 {
+		hash = hashOf(k)
+	}
+	s := &t.shards[rss.ShardOf(hash, len(t.shards))]
+	ep, ok := s.conns[k]
+	if !ok {
+		s.stats.Misses++
+		return nil
+	}
+	s.stats.HostPackets++
+	s.stats.NetPackets += uint64(netPackets)
+	if aggregated {
+		s.stats.Aggregates++
+	}
+	return ep
+}
+
+// ShardStatsOf returns a copy of shard i's counters.
+func (t *FlowTable) ShardStatsOf(i int) ShardStats { return t.shards[i].stats }
+
+// Occupancy returns the endpoint count per shard (a fresh slice).
+func (t *FlowTable) Occupancy() []int {
+	occ := make([]int, len(t.shards))
+	for i := range t.shards {
+		occ[i] = len(t.shards[i].conns)
+	}
+	return occ
+}

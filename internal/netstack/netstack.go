@@ -10,8 +10,6 @@
 package netstack
 
 import (
-	"fmt"
-
 	"repro/internal/buf"
 	"repro/internal/cost"
 	"repro/internal/cycles"
@@ -43,7 +41,8 @@ type Stats struct {
 	SoftCsumVerify uint64
 }
 
-// Stack is one network namespace: an IP layer with a TCP demux table.
+// Stack is one network namespace: an IP layer with a sharded TCP demux
+// table (see FlowTable for the sharding rationale).
 type Stack struct {
 	meter  *cycles.Meter
 	params *cost.Params
@@ -57,46 +56,58 @@ type Stack struct {
 	// paravirtual plumbing accounting; zero natively).
 	ExtraRxPerPacket uint64
 
-	conns map[FlowKey]*tcp.Endpoint
+	table *FlowTable
 	stats Stats
 }
 
-// New creates an empty stack charging m under p.
+// New creates an empty stack charging m under p, with the default shard
+// count.
 func New(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) *Stack {
+	s, err := NewSharded(m, p, alloc, 0)
+	if err != nil {
+		panic(err) // unreachable: the default shard count is valid
+	}
+	return s
+}
+
+// NewSharded creates an empty stack whose flow table has the given
+// power-of-two shard count (0 = DefaultFlowShards).
+func NewSharded(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, shards int) (*Stack, error) {
 	if m == nil || p == nil || alloc == nil {
 		panic("netstack: nil dependency")
 	}
-	return &Stack{
-		meter:  m,
-		params: p,
-		alloc:  alloc,
-		conns:  make(map[FlowKey]*tcp.Endpoint),
+	t, err := NewFlowTable(shards)
+	if err != nil {
+		return nil, err
 	}
+	return &Stack{meter: m, params: p, alloc: alloc, table: t}, nil
 }
 
 // Stats returns a copy of the stack counters.
 func (s *Stack) Stats() Stats { return s.stats }
 
+// FlowTable exposes the sharded demux table (stats, tests).
+func (s *Stack) FlowTable() *FlowTable { return s.table }
+
 // Register adds an endpoint to the demux table under the key incoming
 // packets for it will carry.
 func (s *Stack) Register(ep *tcp.Endpoint, remoteIP, localIP ipv4.Addr, remotePort, localPort uint16) error {
 	k := FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
-	if _, dup := s.conns[k]; dup {
-		return fmt.Errorf("netstack: duplicate registration for %v:%d->%v:%d",
-			remoteIP, remotePort, localIP, localPort)
+	if err := s.table.Insert(k, ep); err != nil {
+		return err
 	}
-	s.conns[k] = ep
 	ep.Output = s.Output
 	return nil
 }
 
-// Unregister removes the endpoint bound to the given key.
-func (s *Stack) Unregister(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16) {
-	delete(s.conns, FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort})
+// Unregister removes the endpoint bound to the given key, reporting
+// whether it was registered.
+func (s *Stack) Unregister(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16) bool {
+	return s.table.Remove(FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort})
 }
 
 // Endpoints returns the number of registered endpoints.
-func (s *Stack) Endpoints() int { return len(s.conns) }
+func (s *Stack) Endpoints() int { return s.table.Len() }
 
 // Input receives one host packet (plain or aggregated SKB) from the driver
 // or the aggregation engine, runs IP receive processing and the non-proto
@@ -154,8 +165,8 @@ func (s *Stack) Input(skb *buf.SKB) {
 	}
 
 	key := FlowKey{Src: ih.Src, Dst: ih.Dst, SrcPort: th.SrcPort, DstPort: th.DstPort}
-	ep, ok := s.conns[key]
-	if !ok {
+	ep := s.table.Lookup(key, skb.RSSHash, skb.NetPackets, skb.Aggregated)
+	if ep == nil {
 		s.stats.NoSocket++
 		s.alloc.Free(skb)
 		return

@@ -1,11 +1,21 @@
 // Package nic models the Gigabit Ethernet NICs of the paper's testbed
 // (Intel e1000-class): receive/transmit descriptor rings, DMA of frames
-// into host memory, receive checksum offload, and interrupt throttling.
+// into host memory, receive checksum offload, interrupt throttling, and —
+// beyond the paper's single-ring hardware — receive-side scaling: multiple
+// receive queues with a Toeplitz flow hash steering each frame to the
+// queue that owns its flow, one interrupt vector per queue.
 //
 // Receive checksum offload matters beyond realism: Receive Aggregation is
 // only performed when the NIC has already validated the TCP checksum
 // (paper §3.1); if the capability is absent the optimized path must fall
 // back to unaggregated delivery.
+//
+// RSS steering is a pure function of the connection four-tuple
+// (internal/rss), so all frames of a flow land on the same queue in
+// order; frames the hardware cannot classify (non-IPv4, non-TCP,
+// fragments, malformed) fall back to queue 0, exactly as real RSS
+// hardware routes unhashable traffic to the default queue. With one queue
+// the NIC degenerates to the paper's single-ring device bit for bit.
 package nic
 
 import (
@@ -13,6 +23,7 @@ import (
 
 	"repro/internal/ether"
 	"repro/internal/ipv4"
+	"repro/internal/rss"
 	"repro/internal/tcpwire"
 )
 
@@ -23,6 +34,13 @@ type Frame struct {
 	// RxCsumOK reports that the NIC validated the transport checksum
 	// (receive checksum offload). Meaningless on transmit.
 	RxCsumOK bool
+	// RSSHash is the Toeplitz hash the NIC computed for the frame's
+	// four-tuple, set for every classifiable IPv4/TCP frame regardless
+	// of queue count (0 = unclassifiable; the stack's demux then hashes
+	// in software).
+	RSSHash uint32
+	// RxQueue is the receive queue the frame arrived on.
+	RxQueue int
 }
 
 // Caps describes NIC hardware offload capabilities.
@@ -37,13 +55,19 @@ type Caps struct {
 type Config struct {
 	// Name identifies the interface (e.g. "eth0").
 	Name string
-	// RxRingSize is the receive descriptor ring capacity.
+	// RxRingSize is the receive descriptor ring capacity per queue.
 	RxRingSize int
+	// RxQueues is the number of receive queues (0 or 1 = single-queue,
+	// the paper's hardware). Frames are steered by Toeplitz hash of the
+	// TCP four-tuple; each queue has its own descriptor ring, interrupt
+	// state and throttling counter.
+	RxQueues int
 	// Caps are the hardware offloads.
 	Caps Caps
 	// IntThrottleFrames is the interrupt coalescing threshold: an
-	// interrupt is asserted after this many frames arrive while the
-	// previous interrupt is unacknowledged (1 = interrupt per frame).
+	// interrupt is asserted after this many frames arrive on a queue
+	// while that queue's previous interrupt is unacknowledged
+	// (1 = interrupt per frame).
 	IntThrottleFrames int
 }
 
@@ -52,6 +76,7 @@ func DefaultConfig(name string) Config {
 	return Config{
 		Name:              name,
 		RxRingSize:        256,
+		RxQueues:          1,
 		Caps:              Caps{RxCsumOffload: true, TxCsumOffload: true},
 		IntThrottleFrames: 8,
 	}
@@ -63,21 +88,31 @@ type Stats struct {
 	TxFrames            uint64
 	Interrupts          uint64
 	CsumGood, CsumBad   uint64
+	// Steered counts frames classified by the RSS hash; Unsteered counts
+	// frames routed to the default queue because they were unhashable.
+	Steered, Unsteered uint64
+}
+
+// rxQueue is one receive descriptor ring with its own interrupt vector.
+type rxQueue struct {
+	ring []Frame
+	head int // next frame the driver will take
+	len  int
+
+	irqPending     bool
+	framesSinceIRQ int
+	rxFrames       uint64
 }
 
 // NIC is one simulated network interface.
 type NIC struct {
-	cfg    Config
-	rxRing []Frame
-	rxHead int // next frame the driver will take
-	rxLen  int
+	cfg Config
+	rxq []rxQueue
 
-	irqPending     bool
-	framesSinceIRQ int
-
-	// OnInterrupt is invoked when the NIC asserts an interrupt; the
-	// machine uses it to schedule driver processing. May be nil.
-	OnInterrupt func()
+	// OnInterrupt is invoked with the queue index when a queue asserts
+	// its interrupt; the machine uses it to schedule driver processing
+	// on the CPU that owns the queue. May be nil.
+	OnInterrupt func(queue int)
 	// OnTransmit receives frames put on the wire. May be nil (frames
 	// are then counted and dropped, useful in unit tests).
 	OnTransmit func(Frame)
@@ -93,10 +128,17 @@ func New(cfg Config) (*NIC, error) {
 	if cfg.IntThrottleFrames <= 0 {
 		return nil, fmt.Errorf("nic %s: IntThrottleFrames %d must be positive", cfg.Name, cfg.IntThrottleFrames)
 	}
-	return &NIC{
-		cfg:    cfg,
-		rxRing: make([]Frame, cfg.RxRingSize),
-	}, nil
+	if cfg.RxQueues == 0 {
+		cfg.RxQueues = 1
+	}
+	if cfg.RxQueues < 0 || cfg.RxQueues > rss.Buckets {
+		return nil, fmt.Errorf("nic %s: RxQueues %d must be in [1, %d]", cfg.Name, cfg.RxQueues, rss.Buckets)
+	}
+	n := &NIC{cfg: cfg, rxq: make([]rxQueue, cfg.RxQueues)}
+	for q := range n.rxq {
+		n.rxq[q].ring = make([]Frame, cfg.RxRingSize)
+	}
+	return n, nil
 }
 
 // Config returns the NIC configuration.
@@ -105,25 +147,68 @@ func (n *NIC) Config() Config { return n.cfg }
 // Stats returns a copy of the NIC counters.
 func (n *NIC) Stats() Stats { return n.stats }
 
-// RxQueueLen returns the number of frames waiting in the receive ring.
-func (n *NIC) RxQueueLen() int { return n.rxLen }
+// RxQueues returns the number of receive queues.
+func (n *NIC) RxQueues() int { return len(n.rxq) }
 
-// CanAccept reports whether the receive ring has room for another frame.
-// The link model uses it to apply pause-frame backpressure instead of
-// dropping (DESIGN.md §5.7).
-func (n *NIC) CanAccept() bool { return n.rxLen < len(n.rxRing) }
+// RxQueueLen returns the total number of frames waiting across all
+// receive rings.
+func (n *NIC) RxQueueLen() int {
+	total := 0
+	for q := range n.rxq {
+		total += n.rxq[q].len
+	}
+	return total
+}
 
-// ReceiveFromWire DMAs a frame into the receive ring, performing checksum
-// offload validation in "hardware" (no host CPU cycles are charged). It
-// returns false and counts a drop if the ring is full.
+// RxQueueLenOn returns the number of frames waiting in queue q's ring.
+func (n *NIC) RxQueueLenOn(q int) int { return n.rxq[q].len }
+
+// RxFramesOn returns the number of frames queue q has received.
+func (n *NIC) RxFramesOn(q int) uint64 { return n.rxq[q].rxFrames }
+
+// CanAccept reports whether every receive ring has room for another
+// frame. The link model uses it to apply pause-frame backpressure instead
+// of dropping (DESIGN.md §5.7); pause frames stop the whole link, so one
+// full queue pauses the port.
+func (n *NIC) CanAccept() bool { return !n.RxNearFull(1) }
+
+// RxNearFull reports whether any queue has fewer than headroom free ring
+// slots — the link-level pause condition covering frames in flight.
+func (n *NIC) RxNearFull(headroom int) bool {
+	for q := range n.rxq {
+		if n.rxq[q].len > len(n.rxq[q].ring)-headroom {
+			return true
+		}
+	}
+	return false
+}
+
+// ReceiveFromWire DMAs a frame into its receive ring, performing checksum
+// offload validation and RSS classification in "hardware" (no host CPU
+// cycles are charged). It returns false and counts a drop if the target
+// ring is full.
 func (n *NIC) ReceiveFromWire(f Frame) bool {
-	if n.rxLen == len(n.rxRing) {
+	csumOK, hash, hashed := n.classify(f.Data)
+	q := 0
+	if hashed {
+		f.RSSHash = hash
+		if len(n.rxq) > 1 {
+			q = rss.QueueOf(hash, len(n.rxq))
+		}
+	}
+	rxq := &n.rxq[q]
+	if rxq.len == len(rxq.ring) {
 		n.stats.RxDropped++
 		return false
 	}
+	if hashed {
+		n.stats.Steered++
+	} else {
+		n.stats.Unsteered++
+	}
 	if n.cfg.Caps.RxCsumOffload {
-		f.RxCsumOK = n.verifyChecksums(f.Data)
-		if f.RxCsumOK {
+		f.RxCsumOK = csumOK
+		if csumOK {
 			n.stats.CsumGood++
 		} else {
 			n.stats.CsumBad++
@@ -131,60 +216,69 @@ func (n *NIC) ReceiveFromWire(f Frame) bool {
 	} else {
 		f.RxCsumOK = false
 	}
-	n.rxRing[(n.rxHead+n.rxLen)%len(n.rxRing)] = f
-	n.rxLen++
+	f.RxQueue = q
+	rxq.ring[(rxq.head+rxq.len)%len(rxq.ring)] = f
+	rxq.len++
+	rxq.rxFrames++
 	n.stats.RxFrames++
 
-	n.framesSinceIRQ++
-	if !n.irqPending && n.framesSinceIRQ >= n.cfg.IntThrottleFrames {
-		n.assertInterrupt()
+	rxq.framesSinceIRQ++
+	if !rxq.irqPending && rxq.framesSinceIRQ >= n.cfg.IntThrottleFrames {
+		n.assertInterrupt(q)
 	}
 	return true
 }
 
-// FlushInterrupt asserts a pending interrupt immediately if any frames are
-// waiting; the link model calls it when the wire goes idle so coalescing
-// never strands frames (work conservation end to end).
+// FlushInterrupt asserts a pending interrupt immediately on every queue
+// with waiting frames; the link model calls it when the wire goes idle so
+// coalescing never strands frames (work conservation end to end).
 func (n *NIC) FlushInterrupt() {
-	if !n.irqPending && n.rxLen > 0 {
-		n.assertInterrupt()
+	for q := range n.rxq {
+		if !n.rxq[q].irqPending && n.rxq[q].len > 0 {
+			n.assertInterrupt(q)
+		}
 	}
 }
 
-func (n *NIC) assertInterrupt() {
-	n.irqPending = true
-	n.framesSinceIRQ = 0
+func (n *NIC) assertInterrupt(q int) {
+	n.rxq[q].irqPending = true
+	n.rxq[q].framesSinceIRQ = 0
 	n.stats.Interrupts++
 	if n.OnInterrupt != nil {
-		n.OnInterrupt()
+		n.OnInterrupt(q)
 	}
 }
 
-// AckInterrupt re-arms the interrupt line; the driver calls it when its
-// poll loop drains the ring (NAPI-style).
-func (n *NIC) AckInterrupt() {
-	n.irqPending = false
-	if n.rxLen > 0 && n.framesSinceIRQ >= n.cfg.IntThrottleFrames {
-		n.assertInterrupt()
+// AckInterrupt re-arms queue q's interrupt vector; the driver calls it
+// when its poll loop drains the ring (NAPI-style).
+func (n *NIC) AckInterrupt(q int) {
+	rxq := &n.rxq[q]
+	rxq.irqPending = false
+	if rxq.len > 0 && rxq.framesSinceIRQ >= n.cfg.IntThrottleFrames {
+		n.assertInterrupt(q)
 	}
 }
 
-// PollRx removes up to max frames from the receive ring (driver side).
-func (n *NIC) PollRx(max int) []Frame {
-	if max <= 0 || n.rxLen == 0 {
+// PollRx removes up to max frames from queue 0 (single-queue driver side).
+func (n *NIC) PollRx(max int) []Frame { return n.PollRxOn(0, max) }
+
+// PollRxOn removes up to max frames from queue q's ring (driver side).
+func (n *NIC) PollRxOn(q, max int) []Frame {
+	rxq := &n.rxq[q]
+	if max <= 0 || rxq.len == 0 {
 		return nil
 	}
 	take := max
-	if take > n.rxLen {
-		take = n.rxLen
+	if take > rxq.len {
+		take = rxq.len
 	}
 	out := make([]Frame, take)
 	for i := 0; i < take; i++ {
-		out[i] = n.rxRing[n.rxHead]
-		n.rxRing[n.rxHead] = Frame{}
-		n.rxHead = (n.rxHead + 1) % len(n.rxRing)
+		out[i] = rxq.ring[rxq.head]
+		rxq.ring[rxq.head] = Frame{}
+		rxq.head = (rxq.head + 1) % len(rxq.ring)
 	}
-	n.rxLen -= take
+	rxq.len -= take
 	return out
 }
 
@@ -196,25 +290,32 @@ func (n *NIC) Transmit(f Frame) {
 	}
 }
 
-// verifyChecksums performs the hardware validation of IP and TCP checksums
-// for an IPv4/TCP frame. Non-TCP or malformed frames report false, which
-// simply routes them around aggregation.
-func (n *NIC) verifyChecksums(frame []byte) bool {
+// classify performs the hardware parse of an IPv4/TCP frame: IP and TCP
+// checksum validation plus the Toeplitz steering hash, in one pass over
+// the headers. Non-TCP or malformed frames report (false, 0, false),
+// which routes them around aggregation and onto the default queue.
+func (n *NIC) classify(frame []byte) (csumOK bool, hash uint32, hashed bool) {
 	if len(frame) < ether.HeaderLen+ipv4.MinHeaderLen {
-		return false
+		return false, 0, false
 	}
 	eh, err := ether.Parse(frame)
 	if err != nil || eh.Type != ether.TypeIPv4 {
-		return false
+		return false, 0, false
 	}
 	l3 := frame[ether.HeaderLen:]
-	if !ipv4.VerifyChecksum(l3) {
-		return false
-	}
+	ipOK := ipv4.VerifyChecksum(l3)
 	ih, err := ipv4.Parse(l3)
 	if err != nil || ih.Proto != ipv4.ProtoTCP || ih.IsFragment() {
-		return false
+		return false, 0, false
 	}
 	seg := l3[ih.IHL:ih.TotalLen]
-	return tcpwire.VerifyChecksum(seg, ih.Src, ih.Dst)
+	th, err := tcpwire.Parse(seg)
+	if err != nil {
+		return false, 0, false
+	}
+	hash = rss.HashTCP4(ih.Src, ih.Dst, th.SrcPort, th.DstPort)
+	if !ipOK {
+		return false, hash, true
+	}
+	return tcpwire.VerifyChecksum(seg, ih.Src, ih.Dst), hash, true
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ether"
 	"repro/internal/ipv4"
 	"repro/internal/packet"
+	"repro/internal/rss"
 	"repro/internal/tcpwire"
 )
 
@@ -142,7 +143,7 @@ func TestInterruptCoalescing(t *testing.T) {
 	cfg.IntThrottleFrames = 4
 	n := mustNIC(t, cfg)
 	var irqs int
-	n.OnInterrupt = func() { irqs++ }
+	n.OnInterrupt = func(int) { irqs++ }
 	for i := 0; i < 8; i++ {
 		n.ReceiveFromWire(Frame{Data: goodFrame()})
 	}
@@ -152,7 +153,7 @@ func TestInterruptCoalescing(t *testing.T) {
 		t.Errorf("interrupts = %d, want 1", irqs)
 	}
 	n.PollRx(8)
-	n.AckInterrupt()
+	n.AckInterrupt(0)
 	for i := 0; i < 4; i++ {
 		n.ReceiveFromWire(Frame{Data: goodFrame()})
 	}
@@ -166,7 +167,7 @@ func TestFlushInterrupt(t *testing.T) {
 	cfg.IntThrottleFrames = 100
 	n := mustNIC(t, cfg)
 	var irqs int
-	n.OnInterrupt = func() { irqs++ }
+	n.OnInterrupt = func(int) { irqs++ }
 	n.ReceiveFromWire(Frame{Data: goodFrame()})
 	if irqs != 0 {
 		t.Fatal("interrupt fired below threshold")
@@ -177,7 +178,7 @@ func TestFlushInterrupt(t *testing.T) {
 	}
 	// Flushing with nothing queued must not fire.
 	n.PollRx(1)
-	n.AckInterrupt()
+	n.AckInterrupt(0)
 	n.FlushInterrupt()
 	if irqs != 1 {
 		t.Errorf("interrupts after empty flush = %d, want 1", irqs)
@@ -197,6 +198,125 @@ func TestTransmit(t *testing.T) {
 	n.Transmit(Frame{Data: []byte{4}})
 	if n.Stats().TxFrames != 2 {
 		t.Errorf("TxFrames = %d, want 2", n.Stats().TxFrames)
+	}
+}
+
+func flowFrame(srcPort, dstPort uint16) []byte {
+	return packet.MustBuild(packet.TCPSpec{
+		SrcMAC:  ether.Addr{0, 1, 2, 3, 4, 5},
+		DstMAC:  ether.Addr{6, 7, 8, 9, 10, 11},
+		SrcIP:   ipv4.Addr{10, 0, 0, 1},
+		DstIP:   ipv4.Addr{10, 0, 0, 2},
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: 1, Ack: 2, Flags: tcpwire.FlagACK, Window: 1000,
+		Payload: make([]byte, 64),
+	})
+}
+
+// TestRSSSteering: every frame of a flow lands on the queue the Toeplitz
+// hash names, and a varied flow population uses more than one queue.
+func TestRSSSteering(t *testing.T) {
+	cfg := DefaultConfig("eth0")
+	cfg.RxQueues = 4
+	n := mustNIC(t, cfg)
+	used := map[int]bool{}
+	for p := uint16(0); p < 64; p++ {
+		sp, dp := 5001+p, uint16(44000)
+		want := rss.QueueOf(rss.HashTCP4(ipv4.Addr{10, 0, 0, 1}, ipv4.Addr{10, 0, 0, 2}, sp, dp), 4)
+		for rep := 0; rep < 3; rep++ {
+			if !n.ReceiveFromWire(Frame{Data: flowFrame(sp, dp)}) {
+				t.Fatal("frame rejected")
+			}
+		}
+		fs := n.PollRxOn(want, 3)
+		if len(fs) != 3 {
+			t.Fatalf("flow port %d: queue %d got %d frames, want 3", sp, want, len(fs))
+		}
+		for _, f := range fs {
+			if f.RxQueue != want {
+				t.Fatalf("frame tagged queue %d, want %d", f.RxQueue, want)
+			}
+			if !f.RxCsumOK {
+				t.Fatal("steered frame lost checksum offload")
+			}
+		}
+		used[want] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("64 flows all steered to %d queue(s)", len(used))
+	}
+	if n.RxQueueLen() != 0 {
+		t.Errorf("frames left on unexpected queues: %d", n.RxQueueLen())
+	}
+	if s := n.Stats(); s.Steered != 192 || s.Unsteered != 0 {
+		t.Errorf("steering stats = %+v", s)
+	}
+	var perQueue uint64
+	for q := 0; q < n.RxQueues(); q++ {
+		perQueue += n.RxFramesOn(q)
+	}
+	if perQueue != n.Stats().RxFrames {
+		t.Errorf("per-queue frame counts sum to %d, total %d", perQueue, n.Stats().RxFrames)
+	}
+}
+
+// TestRSSUnhashableDefaultsToQueue0: frames the hardware cannot classify
+// (runts, non-IP) go to the default queue.
+func TestRSSUnhashableDefaultsToQueue0(t *testing.T) {
+	cfg := DefaultConfig("eth0")
+	cfg.RxQueues = 4
+	n := mustNIC(t, cfg)
+	arp := goodFrame()
+	arp[12], arp[13] = 0x08, 0x06
+	n.ReceiveFromWire(Frame{Data: make([]byte, 10)})
+	n.ReceiveFromWire(Frame{Data: arp})
+	if got := n.RxQueueLenOn(0); got != 2 {
+		t.Errorf("queue 0 holds %d frames, want 2", got)
+	}
+	if s := n.Stats(); s.Unsteered != 2 {
+		t.Errorf("Unsteered = %d, want 2", s.Unsteered)
+	}
+}
+
+// TestPerQueueInterrupts: each queue has its own vector and throttling
+// counter; acks on one queue do not disturb another.
+func TestPerQueueInterrupts(t *testing.T) {
+	cfg := DefaultConfig("eth0")
+	cfg.RxQueues = 2
+	cfg.IntThrottleFrames = 2
+	n := mustNIC(t, cfg)
+	irqs := map[int]int{}
+	n.OnInterrupt = func(q int) { irqs[q]++ }
+
+	// Find a port whose flow steers to queue 1.
+	var q1Port uint16
+	for p := uint16(5001); ; p++ {
+		if rss.QueueOf(rss.HashTCP4(ipv4.Addr{10, 0, 0, 1}, ipv4.Addr{10, 0, 0, 2}, p, 44000), 2) == 1 {
+			q1Port = p
+			break
+		}
+	}
+	for i := 0; i < 4; i++ {
+		n.ReceiveFromWire(Frame{Data: flowFrame(q1Port, 44000)})
+	}
+	if irqs[1] != 1 || irqs[0] != 0 {
+		t.Fatalf("irqs = %v, want queue 1 only", irqs)
+	}
+	n.PollRxOn(1, 8)
+	n.AckInterrupt(1)
+	// Unclassifiable frames throttle on queue 0 independently.
+	n.ReceiveFromWire(Frame{Data: make([]byte, 10)})
+	n.ReceiveFromWire(Frame{Data: make([]byte, 10)})
+	if irqs[0] != 1 {
+		t.Fatalf("queue 0 irqs = %d, want 1", irqs[0])
+	}
+	// FlushInterrupt covers all queues with pending frames.
+	n.ReceiveFromWire(Frame{Data: flowFrame(q1Port, 44000)})
+	n.PollRxOn(0, 8)
+	n.AckInterrupt(0)
+	n.FlushInterrupt()
+	if irqs[1] != 2 {
+		t.Errorf("queue 1 irqs after flush = %d, want 2", irqs[1])
 	}
 }
 

@@ -100,7 +100,7 @@ func (l *Link) transmitNext() {
 	if l.busy {
 		return
 	}
-	if l.dst.RxQueueLen() >= l.dst.Config().RxRingSize-l.RingHeadroom {
+	if l.dst.RxNearFull(l.RingHeadroom) {
 		// Pause: ring nearly full; hold the wire and retry shortly.
 		// The in-flight margin guarantees no drops between check and
 		// delivery.

@@ -148,7 +148,7 @@ func TestLinkFlushesInterruptWhenIdle(t *testing.T) {
 		t.Fatal(err)
 	}
 	irqs := 0
-	n.OnInterrupt = func() { irqs++ }
+	n.OnInterrupt = func(int) { irqs++ }
 	l := NewLink(s, snd, n)
 	ep.AppWrite(100)
 	l.Kick()
@@ -189,7 +189,7 @@ func TestCPUDriverSerializesRounds(t *testing.T) {
 	}
 	top.sim.RunUntil(cfg.WarmupNs + cfg.DurationNs)
 	elapsed := float64(cfg.WarmupNs + cfg.DurationNs)
-	busyFrac := float64(top.cpu.busyCycles) / top.machine.ParamsRef().ClockHz / (elapsed / 1e9)
+	busyFrac := float64(top.cpu.cpus[0].busyCycles) / top.machine.ParamsRef().ClockHz / (elapsed / 1e9)
 	if busyFrac > 1.02 {
 		t.Errorf("CPU busy fraction %.3f exceeds physical capacity", busyFrac)
 	}

@@ -17,19 +17,23 @@ import (
 // native receiver below and by xenvirt.Machine.
 type Machine interface {
 	NICs() []*nic.NIC
-	// ProcessRound runs one softirq round with the given per-NIC poll
-	// budget. It returns the number of network frames consumed and
-	// whether any driver exhausted its budget (NAPI keeps such drivers
-	// on the poll list: the CPU must run another round without waiting
-	// for an interrupt).
-	ProcessRound(budget int) (frames int, more bool)
-	// WireInterrupts routes NIC interrupts through the machine's NAPI
-	// poll list to the CPU scheduler's kick function.
-	WireInterrupts(kick func())
+	// CPUs returns the number of softirq CPUs (= RSS queues per NIC).
+	CPUs() int
+	// ProcessRound runs one softirq round on the given CPU with the
+	// given per-queue poll budget. It returns the number of network
+	// frames consumed and whether any driver on that CPU exhausted its
+	// budget (NAPI keeps such drivers on the poll list: the CPU must run
+	// another round without waiting for an interrupt).
+	ProcessRound(cpu, budget int) (frames int, more bool)
+	// WireInterrupts routes per-queue NIC interrupts through the
+	// machine's NAPI poll lists to the CPU scheduler's kick function
+	// (queue q of any NIC kicks CPU q).
+	WireInterrupts(kick func(cpu int))
 	MeterRef() *cycles.Meter
 	AllocRef() *buf.Allocator
 	ParamsRef() *cost.Params
 	RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error
+	UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16)
 	Endpoints() []*tcp.Endpoint
 	HostPacketsIn() uint64
 	NetFramesIn() uint64
@@ -52,6 +56,11 @@ type NativeConfig struct {
 	Params cost.Params
 	// NICCount is the number of Gigabit NICs (the paper uses five).
 	NICCount int
+	// RxQueues is the number of RSS receive queues per NIC; each queue
+	// index is pinned to its own softirq CPU, so this is also the CPU
+	// count of the receive path. 0 or 1 reproduces the paper's
+	// single-queue, single-softirq machine exactly.
+	RxQueues int
 	// Mode selects baseline or optimized.
 	Mode NativeMode
 	// Aggregation configures the optimized path; zero value uses the
@@ -62,6 +71,12 @@ type NativeConfig struct {
 }
 
 // NativeMachine is a native Linux receiver host.
+//
+// Multi-queue layout: NIC n's receive queue q is serviced by the driver
+// drvs[n][q], polled from softirq CPU q. In optimized mode CPU q owns the
+// receive path rps[q] — softirq context, aggregation queue and
+// aggregation engine — so every per-flow structure on the hot path is
+// CPU-local (see ARCHITECTURE.md).
 type NativeMachine struct {
 	Meter  cycles.Meter
 	Params cost.Params
@@ -69,13 +84,14 @@ type NativeMachine struct {
 	Stack  *netstack.Stack
 
 	cfg      NativeConfig
+	cpus     int
 	nics     []*nic.NIC
-	drvs     []*driver.Driver
-	rp       *core.ReceivePath
+	drvs     [][]*driver.Driver  // [nic][queue]
+	rps      []*core.ReceivePath // [cpu]; nil slice in baseline mode
 	eps      []*tcp.Endpoint
 	framesIn uint64
-	polling  []bool // NAPI poll list: NICs with a signaled interrupt
-	wired    bool   // interrupts routed via WireInterrupts
+	polling  [][]bool // NAPI poll lists: [nic][queue] with signaled irq
+	wired    bool     // interrupts routed via WireInterrupts
 }
 
 // NewNative assembles a native machine.
@@ -89,7 +105,13 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("sim: Clock must be set")
 	}
-	m := &NativeMachine{cfg: cfg, Params: cfg.Params}
+	if cfg.RxQueues == 0 {
+		cfg.RxQueues = 1
+	}
+	if cfg.RxQueues < 0 {
+		return nil, fmt.Errorf("sim: RxQueues %d must be positive", cfg.RxQueues)
+	}
+	m := &NativeMachine{cfg: cfg, cpus: cfg.RxQueues, Params: cfg.Params}
 	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
 	m.Stack = netstack.New(&m.Meter, &m.Params, m.Alloc)
 	m.Stack.Tx = nativeRouter{m}
@@ -103,15 +125,18 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 				opts.Aggregation.Limit = limit
 			}
 		}
-		rp, err := core.New(opts, &m.Meter, &m.Params, m.Alloc, m.Stack.Input)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+		for cpu := 0; cpu < m.cpus; cpu++ {
+			rp, err := core.NewOnCPU(cpu, opts, &m.Meter, &m.Params, m.Alloc, m.Stack.Input)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			m.rps = append(m.rps, rp)
 		}
-		m.rp = rp
 	}
 
 	for i := 0; i < cfg.NICCount; i++ {
 		ncfg := nic.DefaultConfig(fmt.Sprintf("eth%d", i))
+		ncfg.RxQueues = m.cpus
 		ncfg.IntThrottleFrames = 16 // e1000-style interrupt throttling; the
 		// link flushes the line when the wire goes idle, so latency
 		// workloads are not delayed (§5.4)
@@ -119,63 +144,84 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
-		var d *driver.Driver
-		if cfg.Mode == NativeOptimized {
-			d = driver.New(n, driver.ModeRaw, &m.Meter, &m.Params, m.Alloc)
-			d.DeliverRaw = m.rp.EnqueueRaw
-		} else {
-			d = driver.New(n, driver.ModeBaseline, &m.Meter, &m.Params, m.Alloc)
-			d.DeliverSKB = m.Stack.Input
+		qdrvs := make([]*driver.Driver, m.cpus)
+		for q := 0; q < m.cpus; q++ {
+			var d *driver.Driver
+			if cfg.Mode == NativeOptimized {
+				d = driver.NewQueue(n, q, driver.ModeRaw, &m.Meter, &m.Params, m.Alloc)
+				d.DeliverRaw = m.rps[q].EnqueueRaw
+			} else {
+				d = driver.NewQueue(n, q, driver.ModeBaseline, &m.Meter, &m.Params, m.Alloc)
+				d.DeliverSKB = m.Stack.Input
+			}
+			qdrvs[q] = d
 		}
 		m.nics = append(m.nics, n)
-		m.drvs = append(m.drvs, d)
+		m.drvs = append(m.drvs, qdrvs)
 	}
-	m.polling = make([]bool, len(m.nics))
+	m.polling = make([][]bool, len(m.nics))
+	for i := range m.polling {
+		m.polling[i] = make([]bool, m.cpus)
+	}
 	return m, nil
 }
 
 // NICs returns the machine's NICs.
 func (m *NativeMachine) NICs() []*nic.NIC { return m.nics }
 
-// WireInterrupts routes every NIC's interrupt onto the NAPI poll list and
-// then to the CPU scheduler. Only NICs that have signaled are polled in a
-// round — this is what preserves per-device batching (and therefore the
-// achievable aggregation factor) when the CPU is not saturated.
-func (m *NativeMachine) WireInterrupts(kick func()) {
+// CPUs returns the number of softirq CPUs (= RSS queues per NIC).
+func (m *NativeMachine) CPUs() int { return m.cpus }
+
+// WireInterrupts routes every NIC queue's interrupt onto its NAPI poll
+// list and then to the owning CPU's scheduler slot. Only queues that have
+// signaled are polled in a round — this is what preserves per-device
+// batching (and therefore the achievable aggregation factor) when the CPU
+// is not saturated.
+func (m *NativeMachine) WireInterrupts(kick func(cpu int)) {
 	m.wired = true
 	for i := range m.nics {
 		idx := i
-		m.nics[idx].OnInterrupt = func() {
-			m.polling[idx] = true
-			kick()
+		m.nics[idx].OnInterrupt = func(q int) {
+			m.polling[idx][q] = true
+			kick(q)
 		}
 	}
 }
 
-// ReceivePath returns the optimized path (nil in baseline mode).
-func (m *NativeMachine) ReceivePath() *core.ReceivePath { return m.rp }
+// ReceivePath returns CPU 0's optimized path (nil in baseline mode).
+func (m *NativeMachine) ReceivePath() *core.ReceivePath {
+	if len(m.rps) == 0 {
+		return nil
+	}
+	return m.rps[0]
+}
 
-// ProcessRound runs one softirq round: driver polls, aggregation, stack and
-// endpoint processing, plus the per-frame misc (and SMP coherence) charges.
-func (m *NativeMachine) ProcessRound(budget int) (int, bool) {
+// ReceivePaths returns every CPU's optimized path (nil in baseline mode).
+func (m *NativeMachine) ReceivePaths() []*core.ReceivePath { return m.rps }
+
+// ProcessRound runs one softirq round on the given CPU: polls of that
+// CPU's queue on every NIC, aggregation on that CPU's receive path, stack
+// and endpoint processing, plus the per-frame misc (and SMP coherence)
+// charges.
+func (m *NativeMachine) ProcessRound(cpu, budget int) (int, bool) {
 	frames := 0
 	more := false
-	for i, d := range m.drvs {
-		// Unwired machines (directly driven tests) poll every NIC;
-		// wired machines follow the NAPI poll list.
-		if m.wired && !m.polling[i] {
+	for i := range m.drvs {
+		// Unwired machines (directly driven tests) poll every queue;
+		// wired machines follow the NAPI poll lists.
+		if m.wired && !m.polling[i][cpu] {
 			continue
 		}
-		n := d.Poll(budget)
+		n := m.drvs[i][cpu].Poll(budget)
 		frames += n
 		if n == budget {
 			more = true // stays on the poll list (NAPI)
 		} else {
-			m.polling[i] = false
+			m.polling[i][cpu] = false
 		}
 	}
-	if m.rp != nil {
-		m.rp.Process(1 << 30)
+	if m.rps != nil {
+		m.rps[cpu].Process(1 << 30)
 	}
 	if frames > 0 {
 		m.framesIn += uint64(frames)
@@ -206,6 +252,13 @@ func (m *NativeMachine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]
 	return nil
 }
 
+// UnregisterEndpoint removes an endpoint from the demux table (connection
+// teardown). The endpoint stays on the machine's timer/accounting list so
+// bytes it delivered remain counted.
+func (m *NativeMachine) UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16) {
+	m.Stack.Unregister(remoteIP, localIP, remotePort, localPort)
+}
+
 // Endpoints returns the registered endpoints.
 func (m *NativeMachine) Endpoints() []*tcp.Endpoint { return m.eps }
 
@@ -216,17 +269,18 @@ func (m *NativeMachine) HostPacketsIn() uint64 { return m.Stack.Stats().HostPack
 func (m *NativeMachine) NetFramesIn() uint64 { return m.framesIn }
 
 // nativeRouter picks the outgoing driver by the destination IP's third
-// octet (one sender subnet per NIC: 10.0.<i>.x).
+// octet (one sender subnet per NIC: 10.0.<i>.x). Transmission always uses
+// the NIC's queue-0 driver; the device's transmit path is queue-agnostic.
 type nativeRouter struct{ m *NativeMachine }
 
 // Transmit routes one outgoing host packet to its NIC driver.
 func (r nativeRouter) Transmit(skb *buf.SKB) {
 	m := r.m
 	l3 := skb.L3()
-	d := m.drvs[0]
+	d := m.drvs[0][0]
 	if len(l3) >= 20 {
 		if idx := int(l3[18]); idx < len(m.drvs) {
-			d = m.drvs[idx]
+			d = m.drvs[idx][0]
 		}
 	}
 	d.Transmit(skb)

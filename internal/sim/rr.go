@@ -58,7 +58,7 @@ func RunRR(cfg RRConfig) (RRResult, error) {
 	if err != nil {
 		return RRResult{}, err
 	}
-	cpu := newCPUDriver(s, machine)
+	cpu := newCPUSet(s, machine)
 
 	clientIP := ipv4.Addr{10, 0, 0, 1}
 	serverIP := ipv4.Addr{10, 0, 0, 2}
@@ -115,7 +115,7 @@ func RunRR(cfg RRConfig) (RRResult, error) {
 			}
 		}
 		client.FireTimers(now)
-		cpu.kick()
+		cpu.kickAll()
 		s.After(sweepNs, sweep)
 	}
 	s.After(sweepNs, sweep)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/buf"
 	"repro/internal/cost"
 	"repro/internal/cycles"
+	"repro/internal/ether"
 	"repro/internal/ipv4"
 	"repro/internal/packet"
 	"repro/internal/tcp"
@@ -34,6 +35,10 @@ type SenderMachine struct {
 	rrLeft  int
 	pending [][]byte // retransmissions and pure-ACK frames awaiting the link
 
+	paceBlocked []*senderConn // conns held back by pacing this NextFrame
+	wakeAt      uint64        // deadline of the armed pacing wake (0 = none)
+	wakeSeq     uint64        // invalidates superseded wake events
+
 	// OnWindowOpen is invoked when an ACK arrival may have opened a
 	// window (the link uses it to resume pulling).
 	OnWindowOpen func()
@@ -42,6 +47,33 @@ type SenderMachine struct {
 type senderConn struct {
 	ep        *tcp.Endpoint
 	localPort uint16
+
+	// rateBps, when positive, caps this connection's offered rate with a
+	// token bucket (the skewed many-flow workload); zero = unpaced.
+	rateBps    float64
+	allowance  float64
+	lastRefill uint64
+}
+
+// senderBurstBytes caps a paced connection's token bucket: the largest
+// back-to-back burst a paced flow may emit after idling.
+const senderBurstBytes = 64 * 1024
+
+// paceFrameBytes is the wire cost a paced conn must afford before it may
+// emit a frame (one MSS-sized frame plus per-frame overhead).
+const paceFrameBytes = 14 + 20 + 32 + 1448 + ether.PerFrameOverhead
+
+// refill adds rate-proportional allowance for the time since the last
+// refill, capped at the burst size.
+func (c *senderConn) refill(now uint64) {
+	if now <= c.lastRefill {
+		return
+	}
+	c.allowance += float64(now-c.lastRefill) * c.rateBps / 8e9
+	if c.allowance > senderBurstBytes {
+		c.allowance = senderBurstBytes
+	}
+	c.lastRefill = now
 }
 
 // NewSender creates a sender machine with the given interleave quantum
@@ -119,9 +151,77 @@ func (m *SenderMachine) kick() {
 // Conns returns the number of connections on this sender.
 func (m *SenderMachine) Conns() int { return len(m.conns) }
 
+// SetConnRate caps the offered rate of the connection with the given
+// local port (0 removes the cap). Part of the skewed many-flow workload.
+func (m *SenderMachine) SetConnRate(localPort uint16, bps float64) {
+	if c, ok := m.byPort[localPort]; ok {
+		// Bank allowance earned at the old rate before switching, so
+		// repeated re-skews (every churn tick) never confiscate tokens.
+		c.refill(m.sim.Now())
+		c.rateBps = bps
+	}
+}
+
+// FinishConn closes the application stream of the connection with the
+// given local port: in-flight data drains, nothing new is offered
+// (connection-churn teardown).
+func (m *SenderMachine) FinishConn(localPort uint16) {
+	if c, ok := m.byPort[localPort]; ok {
+		c.ep.AppClose()
+	}
+}
+
+// RemoveConn drops a drained connection from the machine entirely, so
+// long churn runs do not accumulate dead conns in the round-robin scan.
+// Call only after the flow has drained (FinishConn plus a grace period);
+// frames arriving for the port afterwards are ignored like any frame for
+// an unknown port.
+func (m *SenderMachine) RemoveConn(localPort uint16) {
+	c, ok := m.byPort[localPort]
+	if !ok {
+		return
+	}
+	delete(m.byPort, localPort)
+	for i := range m.conns {
+		if m.conns[i] == c {
+			m.conns = append(m.conns[:i], m.conns[i+1:]...)
+			if m.rrIdx > i {
+				m.rrIdx--
+			}
+			break
+		}
+	}
+	if len(m.conns) == 0 {
+		m.rrIdx, m.rrLeft = 0, 0
+	} else if m.rrIdx >= len(m.conns) {
+		m.rrIdx = 0
+	}
+}
+
+// takeFrame asks one connection for its next data frame, honoring the
+// pacing token bucket. Pace-blocked conns with an open window are
+// remembered so NextFrame can schedule a wake-up.
+func (m *SenderMachine) takeFrame(c *senderConn) []byte {
+	if c.rateBps > 0 {
+		c.refill(m.sim.Now())
+		if c.allowance < paceFrameBytes {
+			if c.ep.HasDataToSend() {
+				m.paceBlocked = append(m.paceBlocked, c)
+			}
+			return nil
+		}
+	}
+	f := c.ep.NextDataFrame(m.MaxPayload)
+	if f != nil && c.rateBps > 0 {
+		c.allowance -= float64(len(f) + ether.PerFrameOverhead)
+	}
+	return f
+}
+
 // NextFrame returns the next frame to put on the wire, or nil if every
-// connection is window- or app-limited. Control frames (retransmissions,
-// pure ACKs) take priority; data is drawn round-robin with the quantum.
+// connection is window-, app- or rate-limited. Control frames
+// (retransmissions, pure ACKs) take priority; data is drawn round-robin
+// with the quantum.
 func (m *SenderMachine) NextFrame() []byte {
 	if n := len(m.pending); n > 0 {
 		f := m.pending[0]
@@ -131,22 +231,60 @@ func (m *SenderMachine) NextFrame() []byte {
 	if len(m.conns) == 0 {
 		return nil
 	}
+	m.paceBlocked = m.paceBlocked[:0]
 	for tries := 0; tries < len(m.conns); tries++ {
 		c := m.conns[m.rrIdx]
 		if m.rrLeft > 0 {
-			if f := c.ep.NextDataFrame(m.MaxPayload); f != nil {
+			if f := m.takeFrame(c); f != nil {
 				m.rrLeft--
 				return f
 			}
 		}
 		m.rrIdx = (m.rrIdx + 1) % len(m.conns)
 		m.rrLeft = m.quantum
-		if f := m.conns[m.rrIdx].ep.NextDataFrame(m.MaxPayload); f != nil {
+		if f := m.takeFrame(m.conns[m.rrIdx]); f != nil {
 			m.rrLeft--
 			return f
 		}
 	}
+	m.scheduleWake()
 	return nil
+}
+
+// scheduleWake arms a link kick for the moment the soonest pace-blocked
+// connection can afford its next frame. Without this the pull-model link
+// would stall whenever every flow is rate-limited and no ACK is due. An
+// armed wake is tightened (superseded) when a newly blocked connection
+// can afford its frame sooner than the pending deadline.
+func (m *SenderMachine) scheduleWake() {
+	if len(m.paceBlocked) == 0 {
+		return
+	}
+	minWait := ^uint64(0)
+	for _, c := range m.paceBlocked {
+		need := paceFrameBytes - c.allowance
+		wait := uint64(need * 8e9 / c.rateBps)
+		if wait < minWait {
+			minWait = wait
+		}
+	}
+	if minWait == 0 {
+		minWait = 1
+	}
+	at := m.sim.Now() + minWait
+	if m.wakeAt != 0 && at >= m.wakeAt {
+		return // the armed wake fires soon enough
+	}
+	m.wakeAt = at
+	m.wakeSeq++
+	seq := m.wakeSeq
+	m.sim.After(minWait, func() {
+		if seq != m.wakeSeq {
+			return // superseded by a tighter wake
+		}
+		m.wakeAt = 0
+		m.kick()
+	})
 }
 
 // ReceiveFrame processes a frame arriving from the receiver (ACKs; data in

@@ -6,9 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cycles"
-	"repro/internal/ipv4"
 	"repro/internal/nic"
-	"repro/internal/tcp"
 	"repro/internal/xenvirt"
 )
 
@@ -99,6 +97,20 @@ type StreamConfig struct {
 	// CorruptOneIn injects a bit flip into every Nth delivered frame
 	// (0 = never): failure injection for loss-recovery testing.
 	CorruptOneIn int
+	// Queues is the number of RSS receive queues per NIC, each pinned
+	// to its own softirq CPU (0 or 1 = the paper's single-queue,
+	// single-CPU receive path). Native systems only.
+	Queues int
+	// FlowSkew, when positive, skews per-flow offered rates with a
+	// zipf-like profile (weight 1/(k+1)^FlowSkew for the k-th flow on a
+	// link, scaled to keep every link oversubscribed): the heavy-hitter
+	// traffic mix of real many-flow receivers.
+	FlowSkew float64
+	// ChurnIntervalNs, when non-zero, tears down the oldest flow and
+	// starts a fresh one (new ports, fresh congestion window) every
+	// interval: connection arrival/teardown churn exercising flow-table
+	// insert/remove and cold-start aggregation.
+	ChurnIntervalNs uint64
 }
 
 // DefaultStreamConfig mirrors the paper's five-NIC bulk setup.
@@ -130,6 +142,13 @@ type StreamResult struct {
 	Frames uint64
 	// LinkLimitedMbps is the aggregate wire goodput limit for reference.
 	LinkLimitedMbps float64
+	// Queues is the RSS queue (= softirq CPU) count of the run.
+	Queues int
+	// PerCPUUtil is each softirq CPU's busy fraction over the measured
+	// interval; CPUUtil is their mean.
+	PerCPUUtil []float64
+	// FlowsTornDown counts churn teardowns during the whole run.
+	FlowsTornDown uint64
 }
 
 // streamTopology holds the wired-up experiment.
@@ -138,7 +157,8 @@ type streamTopology struct {
 	machine Machine
 	senders []*SenderMachine
 	links   []*Link
-	cpu     *cpuDriver
+	cpu     *cpuSet
+	churn   *churner
 }
 
 // RunStream executes one bulk-receive experiment.
@@ -155,7 +175,7 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	startBytes := appBytes(top.machine)
 	startFrames := top.machine.NetFramesIn()
 	startHost := top.machine.HostPacketsIn()
-	startBusy := top.cpu.busyCycles
+	startBusy := top.cpu.perCPUBusy()
 
 	s.RunUntil(cfg.WarmupNs + cfg.DurationNs)
 
@@ -164,21 +184,32 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	bytes := appBytes(top.machine) - startBytes
 	frames := top.machine.NetFramesIn() - startFrames
 	host := top.machine.HostPacketsIn() - startHost
-	busy := top.cpu.busyCycles - startBusy
+	endBusy := top.cpu.perCPUBusy()
 
 	elapsedSec := float64(cfg.DurationNs) / 1e9
+	cpuCycles := top.machine.ParamsRef().ClockHz * elapsedSec
 	res := StreamResult{
-		ThroughputMbps:  float64(bytes) * 8 / elapsedSec / 1e6,
-		CPUUtil:         float64(busy) / (top.machine.ParamsRef().ClockHz * elapsedSec),
 		Frames:          frames,
 		LinkLimitedMbps: float64(cfg.NICs) * linkGoodputMbps(),
+		ThroughputMbps:  float64(bytes) * 8 / elapsedSec / 1e6,
+		Queues:          len(startBusy),
 	}
+	var busyTotal uint64
+	for i := range startBusy {
+		b := endBusy[i] - startBusy[i]
+		busyTotal += b
+		res.PerCPUUtil = append(res.PerCPUUtil, float64(b)/cpuCycles)
+	}
+	res.CPUUtil = float64(busyTotal) / (cpuCycles * float64(len(startBusy)))
 	if frames > 0 {
 		res.CyclesPerPacket = float64(delta.Total()) / float64(frames)
 		res.Breakdown = delta.PerPacket(frames)
 	}
 	if host > 0 {
 		res.AggFactor = float64(frames) / float64(host)
+	}
+	if top.churn != nil {
+		res.FlowsTornDown = top.churn.tornDown
 	}
 	return res, nil
 }
@@ -213,18 +244,21 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	if cfg.DurationNs == 0 {
 		cfg.DurationNs = 150_000_000
 	}
+	if cfg.FlowSkew < 0 {
+		return nil, fmt.Errorf("sim: FlowSkew %f must be non-negative", cfg.FlowSkew)
+	}
 	s := NewSim()
 
 	machine, err := buildMachine(cfg, s)
 	if err != nil {
 		return nil, err
 	}
-	cpu := newCPUDriver(s, machine)
+	cpu := newCPUSet(s, machine)
 
 	top := &streamTopology{sim: s, machine: machine, cpu: cpu}
 
-	// One sender machine + link per NIC; interrupts go through the
-	// machine's NAPI poll list to the CPU scheduler.
+	// One sender machine + link per NIC; per-queue interrupts go through
+	// the machine's NAPI poll lists to the owning CPU's scheduler slot.
 	machine.WireInterrupts(cpu.kick)
 	for i := 0; i < cfg.NICs; i++ {
 		sender := NewSender(s, cfg.SenderQuantum)
@@ -236,32 +270,18 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		top.links = append(top.links, link)
 	}
 
-	// Connections, round-robin across NICs. Sender i on NIC n has
-	// address 10.0.<n>.1, the receiver 10.0.<n>.2; ports disambiguate
-	// connections sharing a link.
+	// Connections, round-robin across NICs (the many-flow workload
+	// generator owns addressing, skewed rates and churn).
+	gen := newFlowGen(top, cfg)
 	for c := 0; c < cfg.Connections; c++ {
-		n := c % cfg.NICs
-		senderIP := ipv4.Addr{10, 0, byte(n), 1}
-		rcvIP := ipv4.Addr{10, 0, byte(n), 2}
-		sPort := uint16(5001 + c/cfg.NICs)
-		rPort := uint16(44000 + c/cfg.NICs)
-
-		if _, err := top.senders[n].AddStreamConn(senderIP, rcvIP, sPort, rPort); err != nil {
+		if err := gen.openFlow(); err != nil {
 			return nil, err
 		}
-
-		rcfg := tcp.DefaultConfig()
-		rcfg.LocalIP, rcfg.RemoteIP = rcvIP, senderIP
-		rcfg.LocalPort, rcfg.RemotePort = rPort, sPort
-		rcfg.AckOffload = cfg.Opt == OptFull
-		ep, err := tcp.New(rcfg, machine.MeterRef(), machine.ParamsRef(),
-			machine.AllocRef(), s.Clock())
-		if err != nil {
-			return nil, err
-		}
-		if err := machine.RegisterEndpoint(ep, senderIP, rcvIP, sPort, rPort); err != nil {
-			return nil, err
-		}
+	}
+	gen.applySkew()
+	if cfg.ChurnIntervalNs > 0 {
+		top.churn = newChurner(top, gen, cfg.ChurnIntervalNs)
+		s.After(cfg.ChurnIntervalNs, top.churn.tick)
 	}
 
 	// Periodic timer sweep (delayed ACKs, RTO backstop) and initial kick.
@@ -277,7 +297,7 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		for _, snd := range top.senders {
 			snd.FireTimers(now)
 		}
-		cpu.kick()
+		cpu.kickAll()
 		s.After(sweepNs, sweep)
 	}
 	s.After(sweepNs, sweep)
@@ -311,11 +331,15 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 		return NewNative(NativeConfig{
 			Params:      params,
 			NICCount:    cfg.NICs,
+			RxQueues:    cfg.Queues,
 			Mode:        mode,
 			Aggregation: aggOpts,
 			Clock:       s.Clock(),
 		})
 	case SystemXen:
+		if cfg.Queues > 1 {
+			return nil, fmt.Errorf("sim: multi-queue (%d) is not supported on Xen: netfront/netback are single-queue (ROADMAP open item)", cfg.Queues)
+		}
 		params := cost.XenGuest()
 		if cfg.Params != nil {
 			params = *cfg.Params
@@ -341,72 +365,107 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 // in the current round (the response to a request cannot leave before it
 // has been computed — this is what puts receive-path processing cost into
 // the request/response latency of Table 1).
-func nicReverse(l *Link, cpu *cpuDriver) func(nic.Frame) {
+func nicReverse(l *Link, cpu *cpuSet) func(nic.Frame) {
 	return func(f nic.Frame) {
 		l.DeliverReverseDelayed(f.Data, cpu.inRoundLatencyNs())
 	}
 }
 
-// cpuDriver serializes the receiver's softirq rounds on virtual time: each
-// round's charged cycles occupy the CPU, delaying the next round — the
-// mechanism that makes throughput CPU-bound when the cost model says so.
-type cpuDriver struct {
-	sim        *Sim
-	m          Machine
+// cpuSet schedules the receiver's softirq CPUs on virtual time: each
+// CPU's rounds occupy that CPU alone, so rounds on different CPUs overlap
+// in virtual time — the parallelism RSS buys — while each CPU's own
+// rounds serialize, keeping throughput CPU-bound when the cost model says
+// so. With one CPU this is exactly the paper's single-softirq receiver.
+//
+// The discrete-event loop executes one round at a time, so the shared
+// cycle meter's delta across a round is unambiguously that CPU's work
+// even though wall-clock (virtual-time) intervals of different CPUs
+// overlap.
+type cpuSet struct {
+	sim      *Sim
+	m        Machine
+	rxBudget int
+	cpus     []*simCPU
+	current  *simCPU // CPU executing a round right now (nil outside)
+}
+
+// simCPU is one softirq CPU's scheduler state.
+type simCPU struct {
+	id         int
 	scheduled  bool
 	busyUntil  uint64
 	busyCycles uint64
-	rxBudget   int
-	inRound    bool
 	roundBase  uint64 // meter total at round start
 }
 
-func newCPUDriver(s *Sim, m Machine) *cpuDriver {
-	return &cpuDriver{sim: s, m: m, rxBudget: 64}
+func newCPUSet(s *Sim, m Machine) *cpuSet {
+	cs := &cpuSet{sim: s, m: m, rxBudget: 64}
+	for i := 0; i < m.CPUs(); i++ {
+		cs.cpus = append(cs.cpus, &simCPU{id: i})
+	}
+	return cs
 }
 
-// kick schedules a softirq round when the CPU next frees up. Idempotent.
-func (c *cpuDriver) kick() {
+// kick schedules a softirq round on the given CPU when it next frees up.
+// Idempotent per CPU.
+func (cs *cpuSet) kick(cpu int) {
+	c := cs.cpus[cpu]
 	if c.scheduled {
 		return
 	}
 	c.scheduled = true
-	at := c.sim.Now()
+	at := cs.sim.Now()
 	if c.busyUntil > at {
 		at = c.busyUntil
 	}
-	c.sim.Schedule(at, c.round)
+	cs.sim.Schedule(at, func() { cs.round(c) })
 }
 
-// round executes one softirq round and accounts its CPU time. NAPI
+// kickAll schedules a round on every CPU (timer sweeps, initial kick).
+func (cs *cpuSet) kickAll() {
+	for i := range cs.cpus {
+		cs.kick(i)
+	}
+}
+
+// round executes one softirq round on c and accounts its CPU time. NAPI
 // semantics: the CPU re-runs immediately only while some driver exhausts
 // its poll budget; once every ring drains within budget, interrupts are
 // re-enabled and the next round waits for the NIC (whose throttling then
 // sets the batch size the aggregation engine sees).
-func (c *cpuDriver) round() {
+func (cs *cpuSet) round(c *simCPU) {
 	c.scheduled = false
-	meter := c.m.MeterRef()
+	meter := cs.m.MeterRef()
 	c.roundBase = meter.Total()
-	c.inRound = true
-	_, more := c.m.ProcessRound(c.rxBudget)
-	c.inRound = false
+	cs.current = c
+	_, more := cs.m.ProcessRound(c.id, cs.rxBudget)
+	cs.current = nil
 	used := meter.Total() - c.roundBase
 	c.busyCycles += used
-	busyNs := uint64(float64(used) / c.m.ParamsRef().ClockHz * 1e9)
-	c.busyUntil = c.sim.Now() + busyNs
+	busyNs := uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
+	c.busyUntil = cs.sim.Now() + busyNs
 
 	if more {
-		c.kick()
+		cs.kick(c.id)
 	}
+}
+
+// perCPUBusy returns each CPU's cumulative busy cycles.
+func (cs *cpuSet) perCPUBusy() []uint64 {
+	busy := make([]uint64, len(cs.cpus))
+	for i, c := range cs.cpus {
+		busy[i] = c.busyCycles
+	}
+	return busy
 }
 
 // inRoundLatencyNs reports how much CPU time the current round has charged
 // so far: packets transmitted mid-round leave the machine that much later
 // in wall-clock terms. Zero outside a round.
-func (c *cpuDriver) inRoundLatencyNs() uint64 {
-	if !c.inRound {
+func (cs *cpuSet) inRoundLatencyNs() uint64 {
+	if cs.current == nil {
 		return 0
 	}
-	used := c.m.MeterRef().Total() - c.roundBase
-	return uint64(float64(used) / c.m.ParamsRef().ClockHz * 1e9)
+	used := cs.m.MeterRef().Total() - cs.current.roundBase
+	return uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
 }

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ipv4"
+	"repro/internal/tcp"
+)
+
+// This file is the many-flow workload generator: it owns connection
+// addressing, opens the initial flow population, skews per-flow offered
+// rates, and runs connection arrival/teardown churn. The paper's
+// experiments are the degenerate case — a handful of uniform, immortal
+// flows — while the multi-queue RSS pipeline is exercised with thousands
+// of flows, heavy-hitter rate skew and endpoint churn.
+
+// flowRecord is one live connection's addressing.
+type flowRecord struct {
+	nicIdx          int
+	senderIP, rcvIP ipv4.Addr
+	sPort, rPort    uint16
+}
+
+// flowGen opens flows over the wired topology.
+type flowGen struct {
+	top *streamTopology
+	cfg *StreamConfig
+
+	next      int // round-robin NIC cursor / initial port index
+	churnPort int // port counter for churn replacements
+	live      []flowRecord
+}
+
+// Churn replacement flows draw ports from a range disjoint from the
+// initial population's (which starts at 5001/44000 and grows by one per
+// round-robin lap), so reopened flows never collide with live ones.
+const (
+	churnSenderPortBase   = 20000
+	churnReceiverPortBase = 55000
+)
+
+func newFlowGen(top *streamTopology, cfg *StreamConfig) *flowGen {
+	return &flowGen{top: top, cfg: cfg}
+}
+
+// openFlow opens the next initial flow, round-robin across NICs. Sender i
+// on NIC n has address 10.0.<n>.1, the receiver 10.0.<n>.2; ports
+// disambiguate connections sharing a link.
+func (g *flowGen) openFlow() error {
+	c := g.next
+	g.next++
+	n := c % g.cfg.NICs
+	port := c / g.cfg.NICs
+	// The initial ranges must stay below the churn bases so replacement
+	// flows can never collide with an initial flow's four-tuple.
+	if 5001+port >= churnSenderPortBase || 44000+port >= churnReceiverPortBase {
+		return fmt.Errorf("sim: connection %d exceeds the initial per-link port range (%d per link)",
+			c, churnReceiverPortBase-44000)
+	}
+	return g.open(n, uint16(5001+port), uint16(44000+port))
+}
+
+// openChurnFlow opens a replacement flow on NIC n with fresh ports (a new
+// connection: new four-tuple, new RSS bucket, cold congestion window).
+func (g *flowGen) openChurnFlow(n int) error {
+	p := g.churnPort
+	g.churnPort++
+	if churnReceiverPortBase+p > math.MaxUint16 {
+		return fmt.Errorf("sim: churn count %d exhausts the port space", p)
+	}
+	return g.open(n, uint16(churnSenderPortBase+p), uint16(churnReceiverPortBase+p))
+}
+
+func (g *flowGen) open(n int, sPort, rPort uint16) error {
+	top, cfg := g.top, g.cfg
+	senderIP := ipv4.Addr{10, 0, byte(n), 1}
+	rcvIP := ipv4.Addr{10, 0, byte(n), 2}
+
+	if _, err := top.senders[n].AddStreamConn(senderIP, rcvIP, sPort, rPort); err != nil {
+		return err
+	}
+
+	rcfg := tcp.DefaultConfig()
+	rcfg.LocalIP, rcfg.RemoteIP = rcvIP, senderIP
+	rcfg.LocalPort, rcfg.RemotePort = rPort, sPort
+	rcfg.AckOffload = cfg.Opt == OptFull
+	ep, err := tcp.New(rcfg, top.machine.MeterRef(), top.machine.ParamsRef(),
+		top.machine.AllocRef(), top.sim.Clock())
+	if err != nil {
+		return err
+	}
+	if err := top.machine.RegisterEndpoint(ep, senderIP, rcvIP, sPort, rPort); err != nil {
+		return err
+	}
+	g.live = append(g.live, flowRecord{nicIdx: n, senderIP: senderIP, rcvIP: rcvIP,
+		sPort: sPort, rPort: rPort})
+	return nil
+}
+
+// applySkew assigns zipf-profiled rate caps to the live flows of each
+// link: the k-th flow on a link gets weight 1/(k+1)^FlowSkew, scaled so
+// each link's aggregate offered rate is skewOversubscribe times the line
+// rate — the link stays saturated while individual flows differ by
+// orders of magnitude, the heavy-hitter mix of production receivers.
+func (g *flowGen) applySkew() {
+	if g.cfg.FlowSkew <= 0 {
+		return
+	}
+	const skewOversubscribe = 2.0
+	const lineRateBps = 1e9
+	perLink := make([][]flowRecord, g.cfg.NICs)
+	for _, f := range g.live {
+		perLink[f.nicIdx] = append(perLink[f.nicIdx], f)
+	}
+	for n, flows := range perLink {
+		var sum float64
+		weights := make([]float64, len(flows))
+		for k := range flows {
+			weights[k] = math.Pow(float64(k+1), -g.cfg.FlowSkew)
+			sum += weights[k]
+		}
+		for k, f := range flows {
+			rate := skewOversubscribe * lineRateBps * weights[k] / sum
+			g.top.senders[n].SetConnRate(f.sPort, rate)
+		}
+	}
+}
+
+// liveCount returns the number of live flows.
+func (g *flowGen) liveCount() int { return len(g.live) }
+
+// churner runs connection arrival/teardown churn: every interval the
+// oldest flow's application closes (the sender drains in-flight data and
+// stops), its demux entry is removed after a drain grace period, and a
+// fresh connection opens on the same link.
+type churner struct {
+	top      *streamTopology
+	gen      *flowGen
+	interval uint64
+	tornDown uint64
+}
+
+// churnDrainGraceNs is how long after the app-close a torn-down flow's
+// demux entry survives, letting in-flight data and retransmissions drain
+// (several RTTs; RTT here is ~125us).
+const churnDrainGraceNs = 20_000_000
+
+func newChurner(top *streamTopology, gen *flowGen, interval uint64) *churner {
+	return &churner{top: top, gen: gen, interval: interval}
+}
+
+// tick tears one flow down and replaces it, then reschedules itself.
+func (ch *churner) tick() {
+	g := ch.gen
+	if g.liveCount() > 1 {
+		victim := g.live[0]
+		g.live = g.live[1:]
+		ch.tornDown++
+		snd := ch.top.senders[victim.nicIdx]
+		snd.FinishConn(victim.sPort)
+		m := ch.top.machine
+		ch.top.sim.After(churnDrainGraceNs, func() {
+			m.UnregisterEndpoint(victim.senderIP, victim.rcvIP, victim.sPort, victim.rPort)
+			snd.RemoveConn(victim.sPort)
+		})
+		if err := g.openChurnFlow(victim.nicIdx); err == nil {
+			g.applySkew()
+		}
+		// Port-space exhaustion just stops opening replacements; the
+		// run continues with the remaining flows.
+	}
+	ch.top.sim.After(ch.interval, ch.tick)
+}

@@ -1,0 +1,66 @@
+package softirq
+
+import "testing"
+
+func TestContextRunAndIdle(t *testing.T) {
+	ctx, err := NewContext[int](3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.CPU() != 3 {
+		t.Errorf("CPU = %d", ctx.CPU())
+	}
+	var handled []int
+	idles := 0
+	ctx.Handle = func(v int) { handled = append(handled, v) }
+	ctx.Idle = func() { idles++ }
+
+	for i := 1; i <= 5; i++ {
+		if !ctx.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	// Budget smaller than backlog: no idle flush yet.
+	if n := ctx.Run(3); n != 3 {
+		t.Fatalf("Run(3) = %d", n)
+	}
+	if idles != 0 {
+		t.Error("Idle fired with items still queued")
+	}
+	// Draining run fires Idle exactly once.
+	if n := ctx.Run(100); n != 2 {
+		t.Fatalf("second Run = %d", n)
+	}
+	if idles != 1 {
+		t.Errorf("idles = %d, want 1", idles)
+	}
+	for i, v := range handled {
+		if v != i+1 {
+			t.Fatalf("handled out of order: %v", handled)
+		}
+	}
+	s := ctx.Stats()
+	if s.Enqueued != 5 || s.Consumed != 5 || s.Runs != 2 || s.IdleFlushes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestContextOverflow(t *testing.T) {
+	ctx, err := NewContext[int](0, 2) // capacity rounds to 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Handle = func(int) {}
+	if !ctx.Enqueue(1) || !ctx.Enqueue(2) {
+		t.Fatal("ring should hold two items")
+	}
+	if ctx.Enqueue(3) {
+		t.Error("overflow enqueue succeeded")
+	}
+	if s := ctx.Stats(); s.EnqueueFull != 1 {
+		t.Errorf("EnqueueFull = %d", s.EnqueueFull)
+	}
+	if _, err := NewContext[int](-1, 4); err == nil {
+		t.Error("negative CPU accepted")
+	}
+}

@@ -18,6 +18,12 @@ import (
 // (^uint64(0) for an unbounded stream).
 func (e *Endpoint) SetAppLimit(n uint64) { e.appLimited = n }
 
+// AppClose ends the application stream: no bytes beyond those already
+// handed to TCP will be offered. Data in flight still retransmits to
+// completion, so the connection drains cleanly (the teardown half of
+// connection churn workloads).
+func (e *Endpoint) AppClose() { e.appLimited = uint64(e.sndNxt - e.cfg.ISS) }
+
 // AppWrite makes n more bytes available for sending (request/response
 // workloads write incrementally; a fresh endpoint has nothing to send).
 func (e *Endpoint) AppWrite(n uint64) {

@@ -148,15 +148,20 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// CPUs returns the softirq CPU count. The driver domain runs a single
+// softirq context; multi-queue netfront/netback is a ROADMAP follow-on.
+func (m *Machine) CPUs() int { return 1 }
+
 // WireInterrupts routes every NIC's interrupt onto the dom0 NAPI poll list
-// and then to the CPU scheduler (see sim.Machine).
-func (m *Machine) WireInterrupts(kick func()) {
+// and then to the CPU scheduler (see sim.Machine). Xen NICs are
+// single-queue, so everything lands on CPU 0.
+func (m *Machine) WireInterrupts(kick func(cpu int)) {
 	m.wired = true
 	for i := range m.nics {
 		idx := i
-		m.nics[idx].OnInterrupt = func() {
+		m.nics[idx].OnInterrupt = func(int) {
 			m.polling[idx] = true
-			kick()
+			kick(0)
 		}
 	}
 }
@@ -173,8 +178,10 @@ func (m *Machine) ReceivePath() *core.ReceivePath { return m.rp }
 // ProcessRound runs one softirq round over all NICs: driver polls, dom0
 // aggregation, the bridge/netback/netfront traversal, guest stack
 // processing, and the per-frame misc charges of both domains. It returns
-// the number of network frames consumed.
-func (m *Machine) ProcessRound(budget int) (int, bool) {
+// the number of network frames consumed. The cpu argument exists for
+// sim.Machine conformance; the driver domain has one softirq CPU.
+func (m *Machine) ProcessRound(cpu, budget int) (int, bool) {
+	_ = cpu
 	frames := 0
 	more := false
 	for i, d := range m.drvs {
@@ -245,6 +252,7 @@ func (m *Machine) grantCopy(skb *buf.SKB) *buf.SKB {
 
 	g := m.Alloc.NewData(head, skb.L3Offset)
 	g.CsumVerified = skb.CsumVerified
+	g.RSSHash = skb.RSSHash
 	g.Aggregated = skb.Aggregated
 	g.FirstAck = skb.FirstAck
 	for i := range skb.Frags {
@@ -328,6 +336,12 @@ func (m *Machine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, 
 	}
 	m.eps = append(m.eps, ep)
 	return nil
+}
+
+// UnregisterEndpoint removes a guest endpoint from the demux table
+// (connection teardown); it stays on the timer/accounting list.
+func (m *Machine) UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16) {
+	m.GuestStack.Unregister(remoteIP, localIP, remotePort, localPort)
 }
 
 // Endpoints returns the guest endpoints in registration order.

@@ -91,7 +91,7 @@ func (r *rig) sendStream(t *testing.T, count int) {
 
 func (r *rig) pump() {
 	for r.m.NICs()[0].RxQueueLen() > 0 {
-		r.m.ProcessRound(64)
+		r.m.ProcessRound(0, 64)
 	}
 }
 
