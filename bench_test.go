@@ -292,6 +292,35 @@ func BenchmarkRSS_QueueScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkXen_QueueScaling is the paravirtual counterpart of
+// BenchmarkRSS_QueueScaling: aggregate throughput as the number of
+// per-vCPU netfront/netback I/O channels scales 1->4 on a CPU-bound
+// many-flow Xen workload (1 channel is the paper's single-event-channel
+// machine).
+func BenchmarkXen_QueueScaling(b *testing.B) {
+	queues := []int{1, 2, 4}
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			fmt.Println("Xen I/O channel scaling (baseline, 100 flows, 5 links)")
+			fmt.Printf("  %-9s %10s %8s  %s\n", "channels", "Mb/s", "util", "per-vCPU util")
+		}
+		for _, q := range queues {
+			cfg := DefaultStreamConfig(SystemXen, OptNone)
+			cfg.Connections = 100
+			cfg.Queues = q
+			res := benchStream(b, cfg)
+			b.ReportMetric(res.ThroughputMbps, fmt.Sprintf("Mbps_q%d", q))
+			if i == 0 {
+				per := ""
+				for _, u := range res.PerCPUUtil {
+					per += fmt.Sprintf(" %4.0f%%", u*100)
+				}
+				fmt.Printf("  %-9d %10.0f %7.0f%% %s\n", q, res.ThroughputMbps, res.CPUUtil*100, per)
+			}
+		}
+	}
+}
+
 // BenchmarkRSS_ManyFlowChurn exercises the production-shaped workload:
 // 400 zipf-skewed flows with connection churn on a 4-queue optimized
 // pipeline.

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -24,6 +26,10 @@ var (
 		"experiment to run: all, fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, limit1, rss, churn")
 	duration = flag.Duration("duration", 150*time.Millisecond, "measured virtual duration per run")
 	warmup   = flag.Duration("warmup", 40*time.Millisecond, "virtual warm-up before measurement")
+	sysFlag  = flag.String("sys", "up",
+		"system for the rss/churn experiments: up, smp, xen (xen scales paravirtual I/O channels)")
+	queueList = flag.String("queues", "1,2,4,8",
+		"queue counts swept by the rss experiment (comma-separated)")
 )
 
 func main() {
@@ -213,16 +219,41 @@ func table1() {
 	fmt.Println("(paper: UP 7874/7894, SMP 7970/7985, Xen 6965/6953 — no noticeable impact)")
 }
 
+// benchSystem resolves the -sys flag for the beyond-the-paper experiments.
+func benchSystem() repro.SystemKind {
+	sys, err := repro.ParseSystem(*sysFlag)
+	if err != nil {
+		log.Fatalf("-sys: %v", err)
+	}
+	return sys
+}
+
+// benchQueues parses the -queues sweep list.
+func benchQueues() []int {
+	var out []int
+	for _, f := range strings.Split(*queueList, ",") {
+		q, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || q <= 0 {
+			log.Fatalf("bad -queues entry %q", f)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
 // rssScaling is the multi-queue experiment beyond the paper: aggregate
-// throughput and per-CPU utilization as RSS queue count scales 1->8, for
-// the baseline and the optimized receive path.
+// throughput and per-CPU utilization as the queue count scales, for the
+// baseline and the optimized receive path. On -sys xen the queues are
+// paravirtual I/O channels: per-vCPU netfront/netback rings steered by
+// the same Toeplitz hash as the native NIC queues.
 func rssScaling() {
-	fmt.Println("RSS queue scaling (UP, 200 flows, 8 links; 1 queue = the paper's single-softirq receiver)")
+	sys := benchSystem()
+	fmt.Printf("RSS queue scaling (%s, 200 flows, 8 links; 1 queue = the paper's single-softirq receiver)\n", sys)
 	fmt.Printf("%-7s %-10s %10s %10s %8s  %s\n",
 		"queues", "path", "Mb/s", "cyc/pkt", "util", "per-CPU util")
 	for _, opt := range []repro.OptLevel{repro.OptNone, repro.OptFull} {
-		for _, q := range []int{1, 2, 4, 8} {
-			cfg := repro.DefaultStreamConfig(repro.SystemNativeUP, opt)
+		for _, q := range benchQueues() {
+			cfg := repro.DefaultStreamConfig(sys, opt)
 			cfg.NICs = 8
 			cfg.Connections = 200
 			cfg.Queues = q
@@ -241,10 +272,11 @@ func rssScaling() {
 // churn is the production-shaped workload: hundreds of zipf-skewed flows
 // with connection arrival/teardown churn on a 4-queue pipeline.
 func churn() {
-	fmt.Println("Many-flow churn (UP, 400 zipf-skewed flows, churn every 2ms, 4 queues)")
+	sys := benchSystem()
+	fmt.Printf("Many-flow churn (%s, 400 zipf-skewed flows, churn every 2ms, 4 queues)\n", sys)
 	fmt.Printf("%-10s %10s %8s %8s %10s\n", "path", "Mb/s", "util", "agg", "churned")
 	for _, opt := range []repro.OptLevel{repro.OptNone, repro.OptFull} {
-		cfg := repro.DefaultStreamConfig(repro.SystemNativeUP, opt)
+		cfg := repro.DefaultStreamConfig(sys, opt)
 		cfg.Connections = 400
 		cfg.Queues = 4
 		cfg.FlowSkew = 1.1

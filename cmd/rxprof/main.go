@@ -1,14 +1,17 @@
 // Command rxprof prints an OProfile-style cycle breakdown of the receive
-// path for one configuration, as a table and a bar chart:
+// path for one configuration, as a table and a bar chart, followed by the
+// flow table's per-shard demux statistics (flows, demux hits, steals):
 //
 //	rxprof -system xen -opt full
 //	rxprof -system up -opt none -limit 8
+//	rxprof -system xen -queues 4 -conns 100 -shards 12
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"repro"
@@ -20,6 +23,9 @@ var (
 	opt      = flag.String("opt", "full", "receive path: none, ra, full")
 	limit    = flag.Int("limit", 0, "aggregation limit override (0 = default 20)")
 	nics     = flag.Int("nics", 5, "number of Gigabit NICs")
+	queues   = flag.Int("queues", 1, "RSS queues / paravirtual I/O channels per NIC")
+	conns    = flag.Int("conns", 0, "concurrent connections (0 = one per NIC)")
+	shards   = flag.Int("shards", 8, "busiest flow-table shards to list (0 = none)")
 	duration = flag.Duration("duration", 150*time.Millisecond, "measured virtual duration")
 )
 
@@ -28,10 +34,11 @@ func main() {
 	log.SetPrefix("rxprof: ")
 	flag.Parse()
 
-	sys, xen, err := parseSystem(*system)
+	sys, err := repro.ParseSystem(*system)
 	if err != nil {
 		log.Fatal(err)
 	}
+	xen := sys == repro.SystemXen
 	level, err := parseOpt(*opt)
 	if err != nil {
 		log.Fatal(err)
@@ -39,6 +46,8 @@ func main() {
 
 	cfg := repro.DefaultStreamConfig(sys, level)
 	cfg.NICs = *nics
+	cfg.Queues = *queues
+	cfg.Connections = *conns
 	cfg.AggLimit = *limit
 	cfg.DurationNs = uint64(duration.Nanoseconds())
 	res, err := repro.RunStream(cfg)
@@ -55,18 +64,74 @@ func main() {
 	fmt.Print(profile.Table(title, res.Breakdown, cats))
 	fmt.Println()
 	fmt.Print(profile.Bar("cycles/packet by category", res.Breakdown, cats, 50))
+	fmt.Println()
+	printShardStats(res)
 }
 
-func parseSystem(s string) (repro.SystemKind, bool, error) {
-	switch s {
-	case "up":
-		return repro.SystemNativeUP, false, nil
-	case "smp":
-		return repro.SystemNativeSMP, false, nil
-	case "xen":
-		return repro.SystemXen, true, nil
+// printShardStats summarizes the flow table: totals across all shards and
+// the busiest individual shards, exposing how demux load, aggregation
+// state and ownership violations (steals) distribute over the table.
+func printShardStats(res repro.StreamResult) {
+	// A shard is active if anything at all happened to it — including
+	// miss- or steal-only activity, which is exactly what the warning
+	// below points at.
+	active := func(s repro.ShardStats) bool {
+		return s.Endpoints > 0 || s.HostPackets > 0 || s.Misses > 0 || s.Steals > 0
 	}
-	return 0, false, fmt.Errorf("unknown system %q (want up, smp, xen)", s)
+	var flows, occupied int
+	var host, net, aggs, misses, steals uint64
+	for _, s := range res.ShardStats {
+		flows += s.Endpoints
+		if active(s) {
+			occupied++
+		}
+		host += s.HostPackets
+		net += s.NetPackets
+		aggs += s.Aggregates
+		misses += s.Misses
+		steals += s.Steals
+	}
+	fmt.Printf("flow table: %d shards (%d active), %d flows, %d demux hits, %d misses, %d steals\n",
+		len(res.ShardStats), occupied, flows, host, misses, steals)
+	if steals > 0 {
+		fmt.Println("WARNING: non-zero steals — some shard was touched by a CPU that does not own it")
+	}
+	if *shards <= 0 {
+		return
+	}
+	idx := make([]int, len(res.ShardStats))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Steal- and miss-only shards must outrank merely idle ones, or the
+	// listing could hide the shard that triggered the warning above.
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := res.ShardStats[idx[a]], res.ShardStats[idx[b]]
+		if sa.Steals != sb.Steals {
+			return sa.Steals > sb.Steals
+		}
+		if sa.HostPackets != sb.HostPackets {
+			return sa.HostPackets > sb.HostPackets
+		}
+		if sa.Misses != sb.Misses {
+			return sa.Misses > sb.Misses
+		}
+		return sa.Endpoints > sb.Endpoints
+	})
+	n := *shards
+	if n > len(idx) {
+		n = len(idx)
+	}
+	fmt.Printf("%-7s %7s %10s %10s %8s %8s %8s\n",
+		"shard", "flows", "hits", "frames", "aggs", "misses", "steals")
+	for _, i := range idx[:n] {
+		s := res.ShardStats[i]
+		if !active(s) {
+			break // the sort puts idle shards last: nothing left to show
+		}
+		fmt.Printf("%-7d %7d %10d %10d %8d %8d %8d\n",
+			i, s.Endpoints, s.HostPackets, s.NetPackets, s.Aggregates, s.Misses, s.Steals)
+	}
 }
 
 func parseOpt(s string) (repro.OptLevel, error) {

@@ -25,6 +25,7 @@ type FlowTable struct {
 	shards []flowShard
 	mask   uint32
 	count  int
+	queues int // softirq CPU count for steal detection (0 = unknown)
 }
 
 // flowShard is one shard: a private demux map plus per-shard receive
@@ -47,6 +48,11 @@ type ShardStats struct {
 	Aggregates uint64
 	// Misses counts lookups that found no endpoint.
 	Misses uint64
+	// Steals counts lookups performed by a CPU other than the shard's
+	// owning softirq CPU (queue = bucket mod queues). Zero as long as
+	// the queue→shard ownership invariant holds; non-zero means a flow's
+	// packets crossed CPUs and shard state is no longer CPU-local.
+	Steals uint64
 }
 
 // DefaultFlowShards is the default shard count: equal to the RSS
@@ -112,17 +118,33 @@ func (t *FlowTable) Remove(k FlowKey) bool {
 	return true
 }
 
-// Lookup demuxes k, recording the delivery (netPackets frames in one host
-// packet, aggregated or not) in the owning shard's counters. hash is the
-// NIC's Toeplitz hash of k when available (0 recomputes in software) —
-// on the hot path the hardware already paid for it, and it necessarily
-// equals hashOf(k) because both hash the same four-tuple. It returns nil
-// when no endpoint is bound.
+// SetQueues records the number of softirq CPUs servicing the table, which
+// defines shard ownership for steal detection: the owner of a shard's
+// buckets is queue = bucket mod queues. 0 disables the accounting.
+func (t *FlowTable) SetQueues(n int) { t.queues = n }
+
+// Lookup demuxes k without attributing the delivery to a CPU; see
+// LookupOn.
 func (t *FlowTable) Lookup(k FlowKey, hash uint32, netPackets int, aggregated bool) *tcp.Endpoint {
+	return t.LookupOn(-1, k, hash, netPackets, aggregated)
+}
+
+// LookupOn demuxes k on behalf of softirq CPU cpu (-1 = unattributed),
+// recording the delivery (netPackets frames in one host packet, aggregated
+// or not) in the owning shard's counters. A delivery from a CPU other than
+// the shard's owner counts as a steal. hash is the NIC's Toeplitz hash of
+// k when available (0 recomputes in software) — on the hot path the
+// hardware already paid for it, and it necessarily equals hashOf(k)
+// because both hash the same four-tuple. It returns nil when no endpoint
+// is bound.
+func (t *FlowTable) LookupOn(cpu int, k FlowKey, hash uint32, netPackets int, aggregated bool) *tcp.Endpoint {
 	if hash == 0 {
 		hash = hashOf(k)
 	}
 	s := &t.shards[rss.ShardOf(hash, len(t.shards))]
+	if cpu >= 0 && t.queues > 0 && rss.QueueOf(hash, t.queues) != cpu {
+		s.stats.Steals++
+	}
 	ep, ok := s.conns[k]
 	if !ok {
 		s.stats.Misses++

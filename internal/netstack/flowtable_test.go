@@ -163,3 +163,46 @@ func ExampleFlowTable() {
 	fmt.Println(tab.ShardOf(k) == tab.ShardOf(k), tab.Len())
 	// Output: true 0
 }
+
+func TestLookupOnStealAccounting(t *testing.T) {
+	tab, err := NewFlowTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetQueues(4)
+	ep := testEndpoint(t, 5001, 44000)
+	k := key(5001, 44000)
+	if err := tab.Insert(k, ep); err != nil {
+		t.Fatal(err)
+	}
+	hash := rss.HashTCP4(k.Src, k.Dst, k.SrcPort, k.DstPort)
+	owner := rss.QueueOf(hash, 4)
+	shard := tab.ShardOf(k)
+
+	// Owner-CPU lookup: no steal.
+	if tab.LookupOn(owner, k, hash, 1, false) != ep {
+		t.Fatal("owner lookup failed")
+	}
+	if got := tab.ShardStatsOf(shard).Steals; got != 0 {
+		t.Errorf("owner lookup counted %d steals", got)
+	}
+	// Foreign-CPU lookup: one steal, delivery still succeeds.
+	thief := (owner + 1) % 4
+	if tab.LookupOn(thief, k, hash, 1, false) != ep {
+		t.Fatal("foreign lookup failed")
+	}
+	if got := tab.ShardStatsOf(shard).Steals; got != 1 {
+		t.Errorf("foreign lookup counted %d steals, want 1", got)
+	}
+	// Unattributed lookups (cpu -1) and disabled accounting never steal.
+	if tab.LookupOn(-1, k, hash, 1, false) != ep {
+		t.Fatal("unattributed lookup failed")
+	}
+	tab.SetQueues(0)
+	if tab.LookupOn(thief, k, hash, 1, false) != ep {
+		t.Fatal("lookup with accounting disabled failed")
+	}
+	if got := tab.ShardStatsOf(shard).Steals; got != 1 {
+		t.Errorf("steals = %d after unattributed/disabled lookups, want 1", got)
+	}
+}

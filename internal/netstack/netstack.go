@@ -89,6 +89,18 @@ func (s *Stack) Stats() Stats { return s.stats }
 // FlowTable exposes the sharded demux table (stats, tests).
 func (s *Stack) FlowTable() *FlowTable { return s.table }
 
+// SetQueues tells the flow table how many softirq CPUs service the stack
+// so shard lookups can distinguish owner-CPU deliveries from steals (see
+// FlowTable.LookupOn).
+func (s *Stack) SetQueues(n int) { s.table.SetQueues(n) }
+
+// InputOn returns an input function equivalent to Input that attributes
+// every delivery to the given softirq CPU in the flow table's per-shard
+// ownership accounting. Machines bind one per receive queue.
+func (s *Stack) InputOn(cpu int) func(*buf.SKB) {
+	return func(skb *buf.SKB) { s.inputFrom(cpu, skb) }
+}
+
 // Register adds an endpoint to the demux table under the key incoming
 // packets for it will carry.
 func (s *Stack) Register(ep *tcp.Endpoint, remoteIP, localIP ipv4.Addr, remotePort, localPort uint16) error {
@@ -113,7 +125,10 @@ func (s *Stack) Endpoints() int { return s.table.Len() }
 // or the aggregation engine, runs IP receive processing and the non-proto
 // per-packet work, and delivers a tcp.Segment to the owning endpoint. The
 // SKB is freed here on error paths; on success the endpoint frees it.
-func (s *Stack) Input(skb *buf.SKB) {
+// Deliveries are not attributed to a CPU; see InputOn.
+func (s *Stack) Input(skb *buf.SKB) { s.inputFrom(-1, skb) }
+
+func (s *Stack) inputFrom(cpu int, skb *buf.SKB) {
 	s.stats.HostPacketsIn++
 	s.stats.NetPacketsIn += uint64(skb.NetPackets)
 
@@ -165,7 +180,7 @@ func (s *Stack) Input(skb *buf.SKB) {
 	}
 
 	key := FlowKey{Src: ih.Src, Dst: ih.Dst, SrcPort: th.SrcPort, DstPort: th.DstPort}
-	ep := s.table.Lookup(key, skb.RSSHash, skb.NetPackets, skb.Aggregated)
+	ep := s.table.LookupOn(cpu, key, skb.RSSHash, skb.NetPackets, skb.Aggregated)
 	if ep == nil {
 		s.stats.NoSocket++
 		s.alloc.Free(skb)

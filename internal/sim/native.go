@@ -32,6 +32,9 @@ type Machine interface {
 	MeterRef() *cycles.Meter
 	AllocRef() *buf.Allocator
 	ParamsRef() *cost.Params
+	// FlowTable exposes the receiving stack's sharded demux table
+	// (per-shard stats: flows, demux hits, steals).
+	FlowTable() *netstack.FlowTable
 	RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error
 	UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16)
 	Endpoints() []*tcp.Endpoint
@@ -115,6 +118,7 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
 	m.Stack = netstack.New(&m.Meter, &m.Params, m.Alloc)
 	m.Stack.Tx = nativeRouter{m}
+	m.Stack.SetQueues(m.cpus)
 
 	if cfg.Mode == NativeOptimized {
 		opts := cfg.Aggregation
@@ -126,7 +130,7 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 			}
 		}
 		for cpu := 0; cpu < m.cpus; cpu++ {
-			rp, err := core.NewOnCPU(cpu, opts, &m.Meter, &m.Params, m.Alloc, m.Stack.Input)
+			rp, err := core.NewOnCPU(cpu, opts, &m.Meter, &m.Params, m.Alloc, m.Stack.InputOn(cpu))
 			if err != nil {
 				return nil, fmt.Errorf("sim: %w", err)
 			}
@@ -152,7 +156,7 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 				d.DeliverRaw = m.rps[q].EnqueueRaw
 			} else {
 				d = driver.NewQueue(n, q, driver.ModeBaseline, &m.Meter, &m.Params, m.Alloc)
-				d.DeliverSKB = m.Stack.Input
+				d.DeliverSKB = m.Stack.InputOn(q)
 			}
 			qdrvs[q] = d
 		}
@@ -198,6 +202,9 @@ func (m *NativeMachine) ReceivePath() *core.ReceivePath {
 
 // ReceivePaths returns every CPU's optimized path (nil in baseline mode).
 func (m *NativeMachine) ReceivePaths() []*core.ReceivePath { return m.rps }
+
+// FlowTable exposes the stack's sharded demux table.
+func (m *NativeMachine) FlowTable() *netstack.FlowTable { return m.Stack.FlowTable() }
 
 // ProcessRound runs one softirq round on the given CPU: polls of that
 // CPU's queue on every NIC, aggregation on that CPU's receive path, stack

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cycles"
+	"repro/internal/netstack"
 	"repro/internal/nic"
 	"repro/internal/xenvirt"
 )
@@ -99,7 +100,9 @@ type StreamConfig struct {
 	CorruptOneIn int
 	// Queues is the number of RSS receive queues per NIC, each pinned
 	// to its own softirq CPU (0 or 1 = the paper's single-queue,
-	// single-CPU receive path). Native systems only.
+	// single-CPU receive path). On Xen this is also the number of
+	// paravirtual I/O channels: netback steers bridged packets onto
+	// per-vCPU netfront rings with the same Toeplitz hash the NIC used.
 	Queues int
 	// FlowSkew, when positive, skews per-flow offered rates with a
 	// zipf-like profile (weight 1/(k+1)^FlowSkew for the k-th flow on a
@@ -149,6 +152,10 @@ type StreamResult struct {
 	PerCPUUtil []float64
 	// FlowsTornDown counts churn teardowns during the whole run.
 	FlowsTornDown uint64
+	// ShardStats is the receiving flow table's per-shard counters at the
+	// end of the run (index = shard; cumulative over warm-up and the
+	// measured interval): registered flows, demux hits, misses, steals.
+	ShardStats []netstack.ShardStats
 }
 
 // streamTopology holds the wired-up experiment.
@@ -210,6 +217,11 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	}
 	if top.churn != nil {
 		res.FlowsTornDown = top.churn.tornDown
+	}
+	table := top.machine.FlowTable()
+	res.ShardStats = make([]netstack.ShardStats, table.Shards())
+	for i := range res.ShardStats {
+		res.ShardStats[i] = table.ShardStatsOf(i)
 	}
 	return res, nil
 }
@@ -337,9 +349,6 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 			Clock:       s.Clock(),
 		})
 	case SystemXen:
-		if cfg.Queues > 1 {
-			return nil, fmt.Errorf("sim: multi-queue (%d) is not supported on Xen: netfront/netback are single-queue (ROADMAP open item)", cfg.Queues)
-		}
 		params := cost.XenGuest()
 		if cfg.Params != nil {
 			params = *cfg.Params
@@ -351,6 +360,7 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 		return xenvirt.New(xenvirt.Config{
 			Params:      params,
 			NICCount:    cfg.NICs,
+			Queues:      cfg.Queues,
 			Mode:        mode,
 			Aggregation: aggOpts,
 			Clock:       s.Clock(),

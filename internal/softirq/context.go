@@ -55,6 +55,10 @@ func (c *Context[T]) CPU() int { return c.cpu }
 // Len returns the number of items awaiting softirq processing.
 func (c *Context[T]) Len() int { return c.ring.Len() }
 
+// Cap returns the ring capacity (producers can probe for space before
+// committing work that would be wasted on a full ring).
+func (c *Context[T]) Cap() int { return c.ring.Cap() }
+
 // Stats returns a copy of the context counters.
 func (c *Context[T]) Stats() ContextStats { return c.stats }
 

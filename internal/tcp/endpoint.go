@@ -146,6 +146,8 @@ type Endpoint struct {
 	delackArm   uint64 // virtual deadline, 0 = unarmed
 	pendingAcks []uint32
 	finSeen     bool
+	rcvMSSEst   int // estimate of the peer's effective send MSS
+	lastRunLen  int // previous sub-estimate run length (shrink detector)
 
 	// Send state.
 	sndUna, sndNxt uint32
@@ -188,17 +190,18 @@ func New(cfg Config, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, cloc
 		}
 	}
 	e := &Endpoint{
-		cfg:      cfg,
-		meter:    m,
-		params:   p,
-		alloc:    alloc,
-		clock:    clock,
-		rcvNxt:   cfg.IRS,
-		sndUna:   cfg.ISS,
-		sndNxt:   cfg.ISS,
-		cwnd:     cfg.InitialCwnd * cfg.MSS,
-		ssthresh: 1 << 30,
-		sndWnd:   cfg.RcvWnd,
+		cfg:       cfg,
+		meter:     m,
+		params:    p,
+		alloc:     alloc,
+		clock:     clock,
+		rcvNxt:    cfg.IRS,
+		sndUna:    cfg.ISS,
+		sndNxt:    cfg.ISS,
+		cwnd:      cfg.InitialCwnd * cfg.MSS,
+		ssthresh:  1 << 30,
+		sndWnd:    cfg.RcvWnd,
+		rcvMSSEst: cfg.MSS,
 	}
 	return e, nil
 }
@@ -303,13 +306,36 @@ func (e *Endpoint) receiveData(seg *Segment) {
 	}
 }
 
+// measureRcvMSS tracks the peer's effective send MSS from arriving payload
+// run lengths (Linux's tcp_measure_rcv_mss). Without it a small-message
+// sender stalls: sub-MSS runs never count as "full segments" for the
+// delayed-ACK threshold, so the only ACKs are 40 ms timer fires and the
+// sender sits window-limited in between. A run at least as large as the
+// current estimate confirms (or raises) it; two consecutive equal runs
+// below the estimate mean the peer is a small-message sender and shrink
+// the estimate to that message size — a lone short run (a window-limited
+// tail of an MSS stream) never does. Only in-order new data is measured:
+// a lost-ACK tail retransmitted at the same size must not masquerade as
+// a small-message stream.
+func (e *Endpoint) measureRcvMSS(runLen int) {
+	switch {
+	case runLen >= e.rcvMSSEst:
+		e.rcvMSSEst = minInt(runLen, e.cfg.MSS)
+	case runLen == e.lastRunLen:
+		e.rcvMSSEst = runLen
+	}
+	e.lastRunLen = runLen
+}
+
 // receiveRun applies per-segment receive processing to one payload run.
 func (e *Endpoint) receiveRun(seq uint32, run []byte) {
 	end := seq + uint32(len(run))
 	switch {
 	case seq == e.rcvNxt:
-		// In order: deliver, count toward the ACK policy, and drain
-		// any out-of-order data this makes contiguous.
+		// In order: measure the peer's segment size, deliver, count
+		// toward the ACK policy, and drain any out-of-order data this
+		// makes contiguous.
+		e.measureRcvMSS(len(run))
 		e.deliverToApp(run)
 		e.rcvNxt = end
 		e.countSegmentForAck(len(run), e.rcvNxt)
@@ -354,10 +380,13 @@ func (e *Endpoint) deliverToApp(run []byte) {
 // countSegmentForAck advances the delayed-ACK state after one constituent
 // segment whose last byte is cumAck; a full-segment count reaching the
 // threshold queues an ACK for the bytes received so far (§3.4 item 2).
-// Sub-MSS data arms the delayed-ACK timer without counting a full segment.
+// "Full" is relative to the measured peer MSS (measureRcvMSS), so a
+// small-message sender still gets an ACK every DelAckSegments messages;
+// data below even that estimate arms the delayed-ACK timer without
+// counting.
 func (e *Endpoint) countSegmentForAck(runLen int, cumAck uint32) {
 	e.ackPending = true
-	if runLen >= e.cfg.MSS {
+	if runLen >= e.rcvMSSEst {
 		e.delackSegs++
 	}
 	if e.delackSegs >= e.cfg.DelAckSegments {

@@ -564,3 +564,79 @@ func TestPartialOverlapTrimsDirectArrival(t *testing.T) {
 	}
 	env.freeOut()
 }
+
+func TestSmallMessageSenderAckClock(t *testing.T) {
+	// The sub-MSS sender stall regression: a peer streaming equal-sized
+	// small messages must be ACKed every DelAckSegments messages through
+	// the receive-MSS estimator (Linux's tcp_measure_rcv_mss), not once
+	// per delayed-ACK timer fire — without this the sender sits
+	// window-limited for 40 ms between ACKs and throughput collapses.
+	env := newEnv(t, nil)
+	const msg = 512
+	seq := uint32(1)
+	for i := 0; i < 10; i++ {
+		env.ep.Input(dataSeg(seq, 1, mss(msg)))
+		seq += msg
+	}
+	// Message 1 only seeds the estimator; message 2 confirms the size
+	// and shrinks the estimate; from there every second message emits an
+	// ACK: messages 3, 5, 7, 9.
+	if got := env.ep.Stats().AckPacketsOut; got != 4 {
+		t.Fatalf("ACK packets = %d over 10 small messages, want 4", got)
+	}
+	if got := env.ep.Stats().DelAckTimerFires; got != 0 {
+		t.Errorf("DelAckTimerFires = %d, want 0 (ACK clock must not need the timer)", got)
+	}
+	env.freeOut()
+}
+
+func TestLoneShortRunKeepsRcvMSSEstimate(t *testing.T) {
+	// A single window-limited tail below the MSS must not shrink the
+	// estimate: full-MSS flows keep the exact RFC 1122 two-full-segments
+	// ACK schedule (this is what preserves the golden runs bit for bit).
+	env := newEnv(t, nil)
+	env.ep.Input(dataSeg(1, 1, mss(1448)))
+	env.ep.Input(dataSeg(1449, 1, mss(500))) // lone short tail
+	if got := env.ep.Stats().AckPacketsOut; got != 0 {
+		t.Fatalf("ACK packets = %d after MSS+tail, want 0 (tail must not count)", got)
+	}
+	env.ep.Input(dataSeg(1949, 1, mss(1448)))
+	if got := env.ep.Stats().AckPacketsOut; got != 1 {
+		t.Fatalf("ACK packets = %d, want 1 (second full segment triggers)", got)
+	}
+	env.freeOut()
+}
+
+func TestRcvMSSEstimateRecovers(t *testing.T) {
+	// After a small-message phase the estimate must grow back when the
+	// peer resumes full-sized segments.
+	env := newEnv(t, nil)
+	seq := uint32(1)
+	for i := 0; i < 2; i++ { // shrink estimate to 300
+		env.ep.Input(dataSeg(seq, 1, mss(300)))
+		seq += 300
+	}
+	if env.ep.rcvMSSEst != 300 {
+		t.Fatalf("rcvMSSEst = %d after two 300-byte runs, want 300", env.ep.rcvMSSEst)
+	}
+	env.ep.Input(dataSeg(seq, 1, mss(1448)))
+	if env.ep.rcvMSSEst != 1448 {
+		t.Fatalf("rcvMSSEst = %d after full segment, want 1448", env.ep.rcvMSSEst)
+	}
+	env.freeOut()
+}
+
+func TestRetransmittedTailDoesNotShrinkEstimate(t *testing.T) {
+	// A window-limited sub-MSS tail whose ACK is lost arrives twice at
+	// the same size; the duplicate is not in-order new data and must not
+	// shrink the receive-MSS estimate (which would corrupt the full-MSS
+	// ACK schedule).
+	env := newEnv(t, nil)
+	env.ep.Input(dataSeg(1, 1, mss(1448)))
+	env.ep.Input(dataSeg(1449, 1, mss(500))) // tail
+	env.ep.Input(dataSeg(1449, 1, mss(500))) // RTO retransmit of the tail
+	if env.ep.rcvMSSEst != 1448 {
+		t.Fatalf("rcvMSSEst = %d after duplicate tail, want 1448", env.ep.rcvMSSEst)
+	}
+	env.freeOut()
+}

@@ -23,6 +23,31 @@
 // the driver"). The netback/netfront and grant costs keep their
 // per-fragment components, which is why the paper measures a smaller
 // (3.7x) per-packet reduction here than natively (§5.1).
+//
+// # Multi-queue paravirtual receive
+//
+// Beyond the paper's single-softirq machine, the paravirtual path scales
+// the same way the native RSS pipeline does (ARCHITECTURE.md): with
+// Config.Queues = N the machine runs N per-vCPU I/O channels, each a
+// bounded netfront ring (softirq.Context) plus an event channel and a
+// grant-copy batch. The physical NICs steer frames with the Toeplitz
+// hash/indirection table (internal/rss), dom0 runs one NAPI driver — and,
+// in optimized mode, one aggregation engine (core.ReceivePath) — per
+// (NIC, queue), and netback steers bridged host packets onto the I/O
+// channel named by the same hash, so a flow's packets always reach the
+// same guest vCPU. Each vCPU's netfront context feeds the guest stack's
+// sharded flow table; shard = f(bucket) and channel = bucket mod queues,
+// so no per-flow structure is ever touched by two vCPUs.
+//
+// Driver-domain queue q and guest vCPU q are pinned to the same host core
+// (the standard multi-queue netfront/netback deployment): when netback
+// sends the event for a packet whose channel lives on the core already in
+// softirq, netfront consumes it synchronously in the same round — which is
+// also exactly the paper's single-queue machine when Queues = 1. Only a
+// packet whose channel belongs to another core (unhashable traffic seen
+// from a non-zero queue, or asymmetric configurations) stays on the ring
+// until the owning vCPU's next round, woken through the event-channel
+// kick.
 package xenvirt
 
 import (
@@ -35,6 +60,8 @@ import (
 	"repro/internal/driver"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/rss"
+	"repro/internal/softirq"
 	"repro/internal/tcp"
 )
 
@@ -55,6 +82,10 @@ type Config struct {
 	Params cost.Params
 	// NICCount is the number of physical NICs in the driver domain.
 	NICCount int
+	// Queues is the number of RSS queues per NIC and of paravirtual I/O
+	// channels (= guest vCPUs on the receive path). 0 or 1 is the
+	// paper's single-softirq, single-event-channel machine, bit for bit.
+	Queues int
 	// Mode selects baseline or optimized.
 	Mode Mode
 	// Aggregation configures the dom0 aggregation engine (optimized).
@@ -71,6 +102,40 @@ type Stats struct {
 	EvtChnKicks uint64
 }
 
+// ChannelStats counts one I/O channel's activity (receive direction).
+type ChannelStats struct {
+	// HostPackets is the number of host packets netback pushed onto this
+	// channel; NetFrames counts their constituent network frames.
+	HostPackets, NetFrames uint64
+	// GrantBatches is the number of batched grant-copy hypercalls (one
+	// per host packet crossing: the batch covers all of its fragments);
+	// GrantOps counts the individual per-fragment copy operations inside
+	// those batches.
+	GrantBatches, GrantOps uint64
+	// EvtChnKicks is the number of event-channel notifications netback
+	// sent for this channel.
+	EvtChnKicks uint64
+	// RemoteKicks counts notifications that targeted a vCPU other than
+	// the core running netback (the packet waited on the ring for the
+	// owning vCPU's softirq round).
+	RemoteKicks uint64
+	// RingFullDrops counts host packets dropped because the netfront
+	// ring was full (the paravirtual analogue of a backlog overflow).
+	RingFullDrops uint64
+}
+
+// ioChannel is one per-vCPU I/O channel between netback and netfront: the
+// bounded netfront ring with its softirq consumer, the event-channel
+// state, and the grant-batch accounting.
+type ioChannel struct {
+	ctx   *softirq.Context[*buf.SKB]
+	stats ChannelStats
+}
+
+// netfrontRingSlots is the netfront receive ring capacity per channel
+// (256 slots, the classic netfront RX ring size).
+const netfrontRingSlots = 256
+
 // Machine is one Xen host: hypervisor + driver domain + one guest.
 type Machine struct {
 	Meter  cycles.Meter
@@ -80,12 +145,16 @@ type Machine struct {
 	GuestStack *netstack.Stack
 
 	cfg     Config
+	queues  int
 	nics    []*nic.NIC
-	drvs    []*driver.Driver
-	rp      *core.ReceivePath
+	drvs    [][]*driver.Driver  // [nic][queue]
+	rps     []*core.ReceivePath // [vcpu]; nil slice in baseline mode
+	chans   []*ioChannel        // [vcpu]
 	eps     []*tcp.Endpoint
-	polling []bool // dom0 NAPI poll list
-	wired   bool   // interrupts routed via WireInterrupts
+	polling [][]bool // dom0 NAPI poll lists: [nic][queue]
+	wired   bool     // interrupts routed via WireInterrupts
+	kick    func(cpu int)
+	curCPU  int // vCPU of the softirq round in progress (-1 outside)
 	stats   Stats
 }
 
@@ -100,13 +169,38 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.NICCount <= 0 {
 		return nil, fmt.Errorf("xenvirt: NICCount %d must be positive", cfg.NICCount)
 	}
+	if cfg.Queues == 0 {
+		cfg.Queues = 1
+	}
+	if cfg.Queues < 0 || cfg.Queues > rss.Buckets {
+		return nil, fmt.Errorf("xenvirt: Queues %d must be in [1, %d]", cfg.Queues, rss.Buckets)
+	}
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("xenvirt: Clock must be set")
 	}
-	m := &Machine{cfg: cfg, Params: cfg.Params}
+	m := &Machine{cfg: cfg, queues: cfg.Queues, Params: cfg.Params, curCPU: -1}
 	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
 	m.GuestStack = netstack.New(&m.Meter, &m.Params, m.Alloc)
 	m.GuestStack.Tx = txChain{m}
+	m.GuestStack.SetQueues(m.queues)
+
+	// Per-vCPU I/O channels: netfront ring + softirq consumer. The
+	// handler charges netfront's per-packet and per-fragment costs and
+	// feeds the guest stack's sharded flow table, attributing the
+	// delivery to this vCPU.
+	for q := 0; q < m.queues; q++ {
+		ctx, err := softirq.NewContext[*buf.SKB](q, netfrontRingSlots)
+		if err != nil {
+			return nil, fmt.Errorf("xenvirt: %w", err)
+		}
+		input := m.GuestStack.InputOn(q)
+		ctx.Handle = func(skb *buf.SKB) {
+			m.Meter.Charge(cycles.Netfront,
+				m.Params.NetfrontPerPacket+uint64(skb.NetPackets)*m.Params.NetfrontPerFrag)
+			input(skb)
+		}
+		m.chans = append(m.chans, &ioChannel{ctx: ctx})
+	}
 
 	if cfg.Mode == ModeOptimized {
 		opts := cfg.Aggregation
@@ -117,15 +211,18 @@ func New(cfg Config) (*Machine, error) {
 				opts.Aggregation = core.DefaultOptions().Aggregation
 			}
 		}
-		rp, err := core.New(opts, &m.Meter, &m.Params, m.Alloc, m.bridgeReceive)
-		if err != nil {
-			return nil, fmt.Errorf("xenvirt: %w", err)
+		for q := 0; q < m.queues; q++ {
+			rp, err := core.NewOnCPU(q, opts, &m.Meter, &m.Params, m.Alloc, m.bridgeReceive)
+			if err != nil {
+				return nil, fmt.Errorf("xenvirt: %w", err)
+			}
+			m.rps = append(m.rps, rp)
 		}
-		m.rp = rp
 	}
 
 	for i := 0; i < cfg.NICCount; i++ {
 		ncfg := nic.DefaultConfig(fmt.Sprintf("eth%d", i))
+		ncfg.RxQueues = m.queues
 		ncfg.IntThrottleFrames = 16 // e1000-style interrupt throttling; the
 		// link flushes the line when the wire goes idle, so latency
 		// workloads are not delayed (§5.4)
@@ -133,35 +230,44 @@ func New(cfg Config) (*Machine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("xenvirt: %w", err)
 		}
-		var d *driver.Driver
-		if cfg.Mode == ModeOptimized {
-			d = driver.New(n, driver.ModeRaw, &m.Meter, &m.Params, m.Alloc)
-			d.DeliverRaw = m.rp.EnqueueRaw
-		} else {
-			d = driver.New(n, driver.ModeBaseline, &m.Meter, &m.Params, m.Alloc)
-			d.DeliverSKB = m.bridgeReceive
+		qdrvs := make([]*driver.Driver, m.queues)
+		for q := 0; q < m.queues; q++ {
+			var d *driver.Driver
+			if cfg.Mode == ModeOptimized {
+				d = driver.NewQueue(n, q, driver.ModeRaw, &m.Meter, &m.Params, m.Alloc)
+				d.DeliverRaw = m.rps[q].EnqueueRaw
+			} else {
+				d = driver.NewQueue(n, q, driver.ModeBaseline, &m.Meter, &m.Params, m.Alloc)
+				d.DeliverSKB = m.bridgeReceive
+			}
+			qdrvs[q] = d
 		}
 		m.nics = append(m.nics, n)
-		m.drvs = append(m.drvs, d)
+		m.drvs = append(m.drvs, qdrvs)
 	}
-	m.polling = make([]bool, len(m.nics))
+	m.polling = make([][]bool, len(m.nics))
+	for i := range m.polling {
+		m.polling[i] = make([]bool, m.queues)
+	}
 	return m, nil
 }
 
-// CPUs returns the softirq CPU count. The driver domain runs a single
-// softirq context; multi-queue netfront/netback is a ROADMAP follow-on.
-func (m *Machine) CPUs() int { return 1 }
+// CPUs returns the softirq CPU count: one per RSS queue / I/O channel /
+// guest vCPU.
+func (m *Machine) CPUs() int { return m.queues }
 
-// WireInterrupts routes every NIC's interrupt onto the dom0 NAPI poll list
-// and then to the CPU scheduler (see sim.Machine). Xen NICs are
-// single-queue, so everything lands on CPU 0.
+// WireInterrupts routes every NIC queue's interrupt onto the dom0 NAPI
+// poll list and then to the owning CPU's scheduler slot (see sim.Machine).
+// The kick function is also how netback delivers cross-vCPU event-channel
+// notifications.
 func (m *Machine) WireInterrupts(kick func(cpu int)) {
 	m.wired = true
+	m.kick = kick
 	for i := range m.nics {
 		idx := i
-		m.nics[idx].OnInterrupt = func(int) {
-			m.polling[idx] = true
-			kick(0)
+		m.nics[idx].OnInterrupt = func(q int) {
+			m.polling[idx][q] = true
+			kick(q)
 		}
 	}
 }
@@ -172,34 +278,60 @@ func (m *Machine) NICs() []*nic.NIC { return m.nics }
 // Stats returns machine counters.
 func (m *Machine) Stats() Stats { return m.stats }
 
-// ReceivePath returns the dom0 aggregation path (nil in baseline mode).
-func (m *Machine) ReceivePath() *core.ReceivePath { return m.rp }
+// ChannelStatsOf returns a copy of I/O channel q's counters.
+func (m *Machine) ChannelStatsOf(q int) ChannelStats { return m.chans[q].stats }
 
-// ProcessRound runs one softirq round over all NICs: driver polls, dom0
-// aggregation, the bridge/netback/netfront traversal, guest stack
-// processing, and the per-frame misc charges of both domains. It returns
-// the number of network frames consumed. The cpu argument exists for
-// sim.Machine conformance; the driver domain has one softirq CPU.
+// NetfrontContext exposes vCPU q's netfront softirq context (stats, tests).
+func (m *Machine) NetfrontContext(q int) *softirq.Context[*buf.SKB] { return m.chans[q].ctx }
+
+// ReceivePath returns vCPU 0's dom0 aggregation path (nil in baseline mode).
+func (m *Machine) ReceivePath() *core.ReceivePath {
+	if len(m.rps) == 0 {
+		return nil
+	}
+	return m.rps[0]
+}
+
+// ReceivePaths returns every vCPU's dom0 aggregation path (nil in baseline
+// mode).
+func (m *Machine) ReceivePaths() []*core.ReceivePath { return m.rps }
+
+// FlowTable exposes the guest stack's sharded demux table.
+func (m *Machine) FlowTable() *netstack.FlowTable { return m.GuestStack.FlowTable() }
+
+// ProcessRound runs one softirq round on the given vCPU: pending netfront
+// work delivered by other vCPUs' netback, dom0 driver polls of this CPU's
+// queue on every NIC, dom0 aggregation, the bridge/netback/netfront
+// traversal of what they produced, guest stack processing, and the
+// per-frame misc charges of both domains. It returns the number of network
+// frames consumed.
 func (m *Machine) ProcessRound(cpu, budget int) (int, bool) {
-	_ = cpu
+	prev := m.curCPU
+	m.curCPU = cpu
+	defer func() { m.curCPU = prev }()
+
+	// Event-channel work first: packets other vCPUs' netback queued on
+	// this vCPU's netfront ring since its last round.
+	m.chans[cpu].ctx.Run(1 << 30)
+
 	frames := 0
 	more := false
-	for i, d := range m.drvs {
-		// Unwired machines (directly driven tests) poll every NIC;
-		// wired machines follow the NAPI poll list.
-		if m.wired && !m.polling[i] {
+	for i := range m.drvs {
+		// Unwired machines (directly driven tests) poll every queue;
+		// wired machines follow the NAPI poll lists.
+		if m.wired && !m.polling[i][cpu] {
 			continue
 		}
-		n := d.Poll(budget)
+		n := m.drvs[i][cpu].Poll(budget)
 		frames += n
 		if n == budget {
 			more = true
 		} else {
-			m.polling[i] = false
+			m.polling[i][cpu] = false
 		}
 	}
-	if m.rp != nil {
-		m.rp.Process(1 << 30)
+	if m.rps != nil {
+		m.rps[cpu].Process(1 << 30)
 	}
 	if frames > 0 {
 		m.stats.FramesIn += uint64(frames)
@@ -212,7 +344,13 @@ func (m *Machine) ProcessRound(cpu, budget int) (int, bool) {
 }
 
 // bridgeReceive is the driver domain's bridge + netfilter hop, followed by
-// netback, the I/O channel crossing, and netfront delivery into the guest.
+// netback: the I/O channel is chosen by the frame's Toeplitz hash — the
+// same indirection the physical NIC used (internal/rss), so channel q only
+// ever carries queue q's flows — the packet is grant-copied into guest
+// memory as one batched hypercall, pushed onto the channel's netfront
+// ring, and the event channel is signaled. A channel owned by the core
+// already in softirq consumes the event synchronously; any other vCPU is
+// woken through the scheduler kick.
 func (m *Machine) bridgeReceive(skb *buf.SKB) {
 	m.stats.HostPackets++
 	frags := skb.NetPackets
@@ -221,6 +359,23 @@ func (m *Machine) bridgeReceive(skb *buf.SKB) {
 	// Netback: per host packet plus per fragment (§5.1).
 	m.Meter.Charge(cycles.Netback,
 		m.Params.NetbackPerPacket+uint64(frags)*m.Params.NetbackPerFrag)
+	// Netback steering: channel = f(Toeplitz hash), identical to the
+	// NIC's queue choice, so flow affinity spans the driver domain.
+	c := 0
+	if m.queues > 1 && skb.RSSHash != 0 {
+		c = rss.QueueOf(skb.RSSHash, m.queues)
+	}
+	ch := m.chans[c]
+
+	// Netback checks ring space before copying (as real netback does):
+	// a full netfront ring drops the packet here, before any grant work
+	// or event is spent on it.
+	if ch.ctx.Len() == ch.ctx.Cap() {
+		ch.stats.RingFullDrops++
+		m.Alloc.Free(skb)
+		return
+	}
+
 	// Hypervisor: grant validation per fragment, event channel and
 	// scheduling per host packet.
 	m.Meter.Charge(cycles.Xen,
@@ -230,19 +385,37 @@ func (m *Machine) bridgeReceive(skb *buf.SKB) {
 
 	// Grant copy: the first of the two per-byte copies (§2.4). The data
 	// really moves between domains, so the guest gets its own buffers.
+	// One batch of per-fragment copy ops per host packet (GrantCopyFixed
+	// is the batched hypercall's fixed cost).
 	guestSKB := m.grantCopy(skb)
 
-	// Netfront: per host packet plus per fragment.
-	m.Meter.Charge(cycles.Netfront,
-		m.Params.NetfrontPerPacket+uint64(frags)*m.Params.NetfrontPerFrag)
-
-	// The dom0 SKB is done; the guest stack owns the copy.
+	// The dom0 SKB is done; the guest owns the copy from here on.
 	m.Alloc.Free(skb)
-	m.GuestStack.Input(guestSKB)
+
+	ch.stats.HostPackets++
+	ch.stats.NetFrames += uint64(frags)
+	ch.stats.GrantBatches++
+	ch.stats.GrantOps += uint64(frags)
+	ch.stats.EvtChnKicks++
+	ch.ctx.Enqueue(guestSKB) // cannot fail: space checked above
+	if c == m.curCPU {
+		// The owning vCPU shares this core: the event is consumed in
+		// the current softirq round (the paper's synchronous traversal,
+		// and the Queues=1 degenerate case).
+		ch.ctx.Run(1 << 30)
+		return
+	}
+	// Cross-vCPU event: the packet waits on the netfront ring for the
+	// owning vCPU's round.
+	ch.stats.RemoteKicks++
+	if m.kick != nil {
+		m.kick(c)
+	}
 }
 
-// grantCopy copies the packet into guest memory, charging per-byte cost
-// per fragment run (each run is a fresh stream for the prefetcher).
+// grantCopy copies the packet into guest memory, charging the batched
+// hypercall's fixed cost once and per-byte cost per fragment run (each run
+// is a fresh stream for the prefetcher).
 func (m *Machine) grantCopy(skb *buf.SKB) *buf.SKB {
 	m.stats.GrantCopies++
 	head := make([]byte, len(skb.Head))
@@ -293,16 +466,17 @@ func (t txChain) Transmit(skb *buf.SKB) {
 
 // routeTx picks the outgoing driver. With one NIC per sender subnet the
 // third octet of the destination IP selects the NIC; out-of-range values
-// fall back to NIC 0.
+// fall back to NIC 0. Transmission always uses the NIC's queue-0 driver;
+// the device's transmit path is queue-agnostic.
 func (m *Machine) routeTx(skb *buf.SKB) *driver.Driver {
 	l3 := skb.L3()
 	if len(l3) >= 20 {
 		idx := int(l3[18]) // destination IP third octet: 10.0.<idx>.x
 		if idx >= 0 && idx < len(m.drvs) {
-			return m.drvs[idx]
+			return m.drvs[idx][0]
 		}
 	}
-	return m.drvs[0]
+	return m.drvs[0][0]
 }
 
 // FlushTimers fires guest endpoint timers due at virtual time now.

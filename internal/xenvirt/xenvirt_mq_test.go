@@ -1,0 +1,248 @@
+package xenvirt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/ether"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/rss"
+	"repro/internal/tcp"
+	"repro/internal/tcpwire"
+)
+
+// Tests of the multi-queue paravirtual path: per-vCPU I/O channels,
+// netback hash steering, endpoint churn (unregister + reconnect) with
+// frames still in flight, and the netfront ring's cross-vCPU drain.
+
+// mqRig is a directly driven multi-queue Xen machine.
+type mqRig struct {
+	m    *Machine
+	now  uint64
+	sent [][]byte
+}
+
+func newMQRig(t *testing.T, mode Mode, queues int) *mqRig {
+	t.Helper()
+	r := &mqRig{}
+	cfg := Config{
+		Params:      cost.XenGuest(),
+		NICCount:    1,
+		Queues:      queues,
+		Mode:        mode,
+		Aggregation: core.DefaultOptions(),
+		Clock:       func() uint64 { return r.now },
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.m = m
+	m.NICs()[0].OnTransmit = func(f nic.Frame) { r.sent = append(r.sent, f.Data) }
+	return r
+}
+
+// addFlow registers a guest endpoint for senderPort and returns it.
+func (r *mqRig) addFlow(t *testing.T, senderPort uint16, irs uint32) *tcp.Endpoint {
+	t.Helper()
+	tcfg := tcp.DefaultConfig()
+	tcfg.LocalIP, tcfg.RemoteIP = guestIP, senderIP
+	tcfg.LocalPort, tcfg.RemotePort = 44000, senderPort
+	tcfg.IRS = irs
+	ep, err := tcp.New(tcfg, &r.m.Meter, &r.m.Params, r.m.Alloc, func() uint64 { return r.now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.RegisterEndpoint(ep, senderIP, guestIP, senderPort, 44000); err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+// inject puts count MSS-sized frames for senderPort on the wire, starting
+// at seq, and returns the next sequence number.
+func (r *mqRig) inject(t *testing.T, senderPort uint16, seq uint32, count int) uint32 {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		f := packet.MustBuild(packet.TCPSpec{
+			SrcIP: senderIP, DstIP: guestIP,
+			SrcPort: senderPort, DstPort: 44000,
+			Seq: seq, Ack: 1, Flags: tcpwire.FlagACK | tcpwire.FlagPSH,
+			Window: 65535, HasTS: true, TSVal: 7, TSEcr: 3,
+			Payload: make([]byte, 1448), IPID: uint16(seq),
+		})
+		if !r.m.NICs()[0].ReceiveFromWire(nic.Frame{Data: f}) {
+			t.Fatal("NIC ring overflow")
+		}
+		seq += 1448
+	}
+	return seq
+}
+
+// pumpAll runs softirq rounds on every vCPU until all NIC rings drain.
+func (r *mqRig) pumpAll() {
+	for r.m.NICs()[0].RxQueueLen() > 0 {
+		for q := 0; q < r.m.CPUs(); q++ {
+			r.m.ProcessRound(q, 64)
+		}
+	}
+}
+
+// portOnQueue finds a sender port whose flow the hash steers to queue q.
+func portOnQueue(q, queues int) uint16 {
+	for p := uint16(5001); ; p++ {
+		h := rss.HashTCP4(senderIP, guestIP, p, 44000)
+		if rss.QueueOf(h, queues) == q {
+			return p
+		}
+	}
+}
+
+func TestMultiQueueChannelDelivery(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeOptimized} {
+		r := newMQRig(t, mode, 2)
+		p0 := portOnQueue(0, 2)
+		p1 := portOnQueue(1, 2)
+		ep0 := r.addFlow(t, p0, 1)
+		ep1 := r.addFlow(t, p1, 1)
+		r.inject(t, p0, 1, 20)
+		r.inject(t, p1, 1, 20)
+
+		// Each flow's frames sit on the hash-named NIC queue.
+		if got := r.m.NICs()[0].RxQueueLenOn(0); got != 20 {
+			t.Fatalf("mode %d: queue 0 holds %d frames, want 20", mode, got)
+		}
+		// A round on vCPU 0 must not consume vCPU 1's queue or channel.
+		r.m.ProcessRound(0, 64)
+		if got := ep1.Stats().BytesToApp; got != 0 {
+			t.Errorf("mode %d: vCPU 0 round delivered %d bytes of queue-1 flow", mode, got)
+		}
+		r.pumpAll()
+
+		for i, ep := range []*tcp.Endpoint{ep0, ep1} {
+			if got := ep.Stats().BytesToApp; got != 20*1448 {
+				t.Errorf("mode %d: flow %d delivered %d bytes, want %d", mode, i, got, 20*1448)
+			}
+		}
+		// Both I/O channels carried traffic; netback steered by hash.
+		for q := 0; q < 2; q++ {
+			cs := r.m.ChannelStatsOf(q)
+			if cs.HostPackets == 0 || cs.NetFrames != 20 {
+				t.Errorf("mode %d: channel %d stats = %+v, want 20 frames", mode, q, cs)
+			}
+			if cs.GrantBatches != cs.HostPackets || cs.GrantOps != cs.NetFrames {
+				t.Errorf("mode %d: channel %d grant batch accounting inconsistent: %+v", mode, q, cs)
+			}
+			if cs.EvtChnKicks != cs.HostPackets {
+				t.Errorf("mode %d: channel %d kicks = %d, want one per host packet", mode, q, cs.EvtChnKicks)
+			}
+		}
+		// Shard ownership held: no cross-vCPU lookups.
+		ft := r.m.FlowTable()
+		for i := 0; i < ft.Shards(); i++ {
+			if s := ft.ShardStatsOf(i); s.Steals != 0 {
+				t.Errorf("mode %d: shard %d saw %d steals", mode, i, s.Steals)
+			}
+		}
+		if live := r.m.Alloc.Stats().Live; live != 0 {
+			t.Errorf("mode %d: %d SKBs live after run", mode, live)
+		}
+	}
+}
+
+func TestEndpointChurnReconnect(t *testing.T) {
+	// Connection churn on the paravirtual path: tear an endpoint down
+	// while its frames are still mid-drain (in the NIC ring and I/O
+	// channel), then reconnect on the same four-tuple.
+	r := newMQRig(t, ModeOptimized, 2)
+	port := portOnQueue(1, 2)
+	ep := r.addFlow(t, port, 1)
+	seq := r.inject(t, port, 1, 10)
+	r.pumpAll()
+	if got := ep.Stats().BytesToApp; got != 10*1448 {
+		t.Fatalf("pre-churn delivery = %d bytes, want %d", got, 10*1448)
+	}
+
+	// Frames arrive, then the endpoint unregisters before the softirq
+	// round drains them: they must be dropped at demux (NoSocket) and
+	// freed, not delivered or leaked.
+	seq = r.inject(t, port, seq, 10)
+	r.m.UnregisterEndpoint(senderIP, guestIP, port, 44000)
+	r.pumpAll()
+	if got := ep.Stats().BytesToApp; got != 10*1448 {
+		t.Errorf("unregistered endpoint received %d bytes, want %d", got, 10*1448)
+	}
+	if got := r.m.GuestStack.Stats().NoSocket; got == 0 {
+		t.Error("mid-drain frames for the unregistered flow were not counted as NoSocket")
+	}
+	if live := r.m.Alloc.Stats().Live; live != 0 {
+		t.Fatalf("%d SKBs live after mid-drain unregister", live)
+	}
+
+	// Reconnect: a fresh endpoint on the same four-tuple (new
+	// connection, same addressing) picks up where the wire is.
+	ep2 := r.addFlow(t, port, seq)
+	r.inject(t, port, seq, 10)
+	r.pumpAll()
+	if got := ep2.Stats().BytesToApp; got != 10*1448 {
+		t.Errorf("reconnected endpoint delivered %d bytes, want %d", got, 10*1448)
+	}
+	if live := r.m.Alloc.Stats().Live; live != 0 {
+		t.Errorf("%d SKBs live after reconnect run", live)
+	}
+}
+
+func TestCrossVCPUChannelDrain(t *testing.T) {
+	// A packet queued on a vCPU's netfront ring from elsewhere (the
+	// cross-core event-channel case) must be consumed at the start of
+	// that vCPU's next softirq round.
+	r := newMQRig(t, ModeBaseline, 2)
+	port := portOnQueue(1, 2)
+	ep := r.addFlow(t, port, 1)
+
+	frame := packet.MustBuild(packet.TCPSpec{
+		SrcIP: senderIP, DstIP: guestIP,
+		SrcPort: port, DstPort: 44000,
+		Seq: 1, Ack: 1, Flags: tcpwire.FlagACK | tcpwire.FlagPSH,
+		Window: 65535, HasTS: true, TSVal: 7, TSEcr: 3,
+		Payload: make([]byte, 1448), IPID: 1,
+	})
+	skb := r.m.Alloc.NewData(frame, ether.HeaderLen)
+	skb.CsumVerified = true
+	if !r.m.NetfrontContext(1).Enqueue(skb) {
+		t.Fatal("netfront ring rejected the packet")
+	}
+	// The wrong vCPU's round must not touch channel 1.
+	r.m.ProcessRound(0, 64)
+	if got := ep.Stats().BytesToApp; got != 0 {
+		t.Fatalf("vCPU 0 drained vCPU 1's netfront ring (%d bytes)", got)
+	}
+	r.m.ProcessRound(1, 64)
+	if got := ep.Stats().BytesToApp; got != 1448 {
+		t.Errorf("cross-queued packet delivered %d bytes, want 1448", got)
+	}
+	if live := r.m.Alloc.Stats().Live; live != 0 {
+		t.Errorf("%d SKBs live after cross-vCPU drain", live)
+	}
+}
+
+func TestSingleQueueChannelAccounting(t *testing.T) {
+	// Queues=1 keeps the paper's machine: one channel, every packet
+	// inline, machine-level counters unchanged by the refactor.
+	r := newMQRig(t, ModeBaseline, 1)
+	ep := r.addFlow(t, 5001, 1)
+	r.inject(t, 5001, 1, 20)
+	r.pumpAll()
+	if got := ep.Stats().BytesToApp; got != 20*1448 {
+		t.Fatalf("delivered %d bytes, want %d", got, 20*1448)
+	}
+	cs := r.m.ChannelStatsOf(0)
+	if cs.HostPackets != 20 || cs.RemoteKicks != 0 || cs.RingFullDrops != 0 {
+		t.Errorf("channel 0 stats = %+v, want 20 inline host packets", cs)
+	}
+	if r.m.Stats().EvtChnKicks < cs.EvtChnKicks {
+		t.Errorf("machine kicks %d < channel kicks %d", r.m.Stats().EvtChnKicks, cs.EvtChnKicks)
+	}
+}

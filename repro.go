@@ -25,9 +25,12 @@
 package repro
 
 import (
+	"fmt"
+
 	"repro/internal/cost"
 	"repro/internal/cycles"
 	"repro/internal/memmodel"
+	"repro/internal/netstack"
 	"repro/internal/profile"
 	"repro/internal/sim"
 )
@@ -79,7 +82,25 @@ type (
 	Category = cycles.Category
 	// CostParams is a machine cost profile.
 	CostParams = cost.Params
+	// ShardStats is one flow-table shard's demux counters (flows, demux
+	// hits, steals), reported per shard in StreamResult.ShardStats.
+	ShardStats = netstack.ShardStats
 )
+
+// ParseSystem maps a CLI system name to its SystemKind: "up" (alias
+// "native"), "smp", or "xen". The single mapping shared by the commands,
+// so names never drift between tools.
+func ParseSystem(s string) (SystemKind, error) {
+	switch s {
+	case "up", "native":
+		return SystemNativeUP, nil
+	case "smp":
+		return SystemNativeSMP, nil
+	case "xen":
+		return SystemXen, nil
+	}
+	return 0, fmt.Errorf("unknown system %q (want up, smp, xen)", s)
+}
 
 // RunStream executes one bulk-receive experiment.
 func RunStream(cfg StreamConfig) (StreamResult, error) { return sim.RunStream(cfg) }
