@@ -27,6 +27,9 @@ var (
 	conns    = flag.Int("conns", 0, "concurrent connections (0 = one per NIC)")
 	shards   = flag.Int("shards", 8, "busiest flow-table shards to list (0 = none)")
 	duration = flag.Duration("duration", 150*time.Millisecond, "measured virtual duration")
+	steer    = flag.Bool("steer", false,
+		"enable dynamic flow steering (rebalancer + aRFS) and print the final indirection table and steering-rule occupancy")
+	skew = flag.Float64("skew", 0, "zipf rate-skew exponent for the flow population (0 = uniform)")
 )
 
 func main() {
@@ -49,7 +52,11 @@ func main() {
 	cfg.Queues = *queues
 	cfg.Connections = *conns
 	cfg.AggLimit = *limit
+	cfg.FlowSkew = *skew
 	cfg.DurationNs = uint64(duration.Nanoseconds())
+	if *steer {
+		cfg.Steering = repro.SteerConfig{Enabled: true, ARFS: true}
+	}
 	res, err := repro.RunStream(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -66,6 +73,38 @@ func main() {
 	fmt.Print(profile.Bar("cycles/packet by category", res.Breakdown, cats, 50))
 	fmt.Println()
 	printShardStats(res)
+	if *steer {
+		fmt.Println()
+		printSteer(res)
+	}
+}
+
+// printSteer renders the run's steering state: policy activity, rule-table
+// occupancy and the final RSS indirection table (bucket → CPU).
+func printSteer(res repro.StreamResult) {
+	r := res.Steer
+	if r == nil {
+		fmt.Println("steering: no report (steering inactive)")
+		return
+	}
+	fmt.Printf("steering: %d epochs (%d calm), %d bucket moves, util spread %.3f\n",
+		r.Epochs, r.CalmEpochs, r.Moves, res.UtilSpread())
+	fmt.Printf("aRFS rules: %d programmed, %d evicted, %d hits, %d live (+%d flow-owner overrides), %d app migrations\n",
+		r.RulesProgrammed, r.RuleEvictions, r.RuleHits, r.RuleOccupancy,
+		r.FlowOwnerOverrides, r.AppMigrations)
+	fmt.Println("indirection table (bucket -> CPU):")
+	const perRow = 32
+	for base := 0; base < len(r.Indirection); base += perRow {
+		end := base + perRow
+		if end > len(r.Indirection) {
+			end = len(r.Indirection)
+		}
+		fmt.Printf("  %3d:", base)
+		for _, cpu := range r.Indirection[base:end] {
+			fmt.Printf(" %d", cpu)
+		}
+		fmt.Println()
+	}
 }
 
 // printShardStats summarizes the flow table: totals across all shards and

@@ -71,6 +71,7 @@ type Stats struct {
 	FlushMismatch uint64 // closed by a non-matching same-flow frame
 	FlushIdle     uint64 // closed by FlushAll (queue went empty)
 	FlushEvict    uint64 // closed by table eviction
+	FlushSteer    uint64 // closed by FlushWhere (migration handoff)
 
 	// Pass-through reasons (§3.1 rule failures).
 	RejNonIP, RejBadIPCsum, RejNoCsumOffload uint64
@@ -341,6 +342,31 @@ func (e *Engine) FlushAll() {
 		}
 	}
 	e.order = e.order[:0]
+}
+
+// FlushWhere delivers every pending aggregate whose flow key satisfies
+// pred, counting each as a steering flush. The steering control path uses
+// it for migration handoff: before a bucket (or a single flow) is
+// re-steered to another CPU, the old CPU's partial aggregates for the
+// affected flows are drained, so no aggregate can ever merge frames from
+// both sides of the migration boundary. It returns the number flushed.
+func (e *Engine) FlushWhere(pred func(FlowKey) bool) int {
+	n := 0
+	for _, k := range e.order {
+		if !pred(k) {
+			continue
+		}
+		if p, ok := e.table[k]; ok {
+			e.stats.FlushSteer++
+			delete(e.table, k)
+			e.deliver(p)
+			n++
+		}
+	}
+	if n > 0 {
+		e.compactOrder()
+	}
+	return n
 }
 
 // finalize removes p from the table and delivers it.

@@ -43,6 +43,43 @@ func (e *env) freeOut() {
 	e.out = nil
 }
 
+// TestFlushWhere: the migration-handoff primitive delivers exactly the
+// pending aggregates whose key matches, leaving the rest pending.
+func TestFlushWhere(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16})
+	defer e.freeOut()
+	// Two flows, two frames each: both are pending (limit not reached).
+	e.eng.Input(flowFrame(1, 1, 100, nil))
+	e.eng.Input(flowFrame(101, 1, 100, nil))
+	e.eng.Input(flowFrame(1, 1, 100, func(s *packet.TCPSpec) { s.SrcPort = 5002 }))
+	e.eng.Input(flowFrame(101, 1, 100, func(s *packet.TCPSpec) { s.SrcPort = 5002 }))
+	if got := e.eng.PendingFlows(); got != 2 {
+		t.Fatalf("PendingFlows = %d, want 2", got)
+	}
+	n := e.eng.FlushWhere(func(k FlowKey) bool { return k.SrcPort == 5001 })
+	if n != 1 {
+		t.Fatalf("FlushWhere flushed %d aggregates, want 1", n)
+	}
+	if got := e.eng.PendingFlows(); got != 1 {
+		t.Fatalf("PendingFlows = %d after selective flush, want 1", got)
+	}
+	if len(e.out) != 1 || e.out[0].NetPackets != 2 {
+		t.Fatalf("delivered %d packets, want one 2-frame aggregate", len(e.out))
+	}
+	if got := e.eng.Stats().FlushSteer; got != 1 {
+		t.Errorf("FlushSteer = %d, want 1", got)
+	}
+	// The surviving flow is untouched and still aggregating.
+	e.eng.Input(flowFrame(201, 1, 100, func(s *packet.TCPSpec) { s.SrcPort = 5002 }))
+	if got := e.eng.PendingFlows(); got != 1 {
+		t.Errorf("survivor flow lost its pending aggregate (%d pending)", got)
+	}
+	e.eng.FlushAll()
+	if len(e.out) != 2 || e.out[1].NetPackets != 3 {
+		t.Errorf("survivor did not keep aggregating across FlushWhere")
+	}
+}
+
 // flowFrame builds an in-sequence data frame for the canonical test flow.
 func flowFrame(seq, ack uint32, payloadLen int, mutate func(*packet.TCPSpec)) nic.Frame {
 	spec := packet.TCPSpec{

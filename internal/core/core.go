@@ -126,3 +126,26 @@ func (rp *ReceivePath) Process(budget int) int {
 // Flush forces delivery of all partial aggregates regardless of queue
 // state (used at shutdown and by tests).
 func (rp *ReceivePath) Flush() { rp.engine.FlushAll() }
+
+// FlushFlow drains the pending aggregate of the flow identified by the
+// four-tuple from every given path — it lives in at most one, but which
+// one depends on steering history, so all are swept. Shared by the
+// native and paravirtual machines' steering handoff: any time a flow's
+// steering changes (bucket move, aRFS program, rule eviction), its
+// pending state must be delivered before frames can arrive elsewhere.
+func FlushFlow(rps []*ReceivePath, src, dst [4]byte, srcPort, dstPort uint16) {
+	for _, rp := range rps {
+		rp.FlushWhere(func(k aggregate.FlowKey) bool {
+			return k.Src == src && k.Dst == dst && k.SrcPort == srcPort && k.DstPort == dstPort
+		})
+	}
+}
+
+// FlushWhere drains the partial aggregates whose flow key satisfies pred
+// — the migration-handoff half of dynamic flow steering: before a bucket
+// or flow is re-steered to another CPU, the old owner's pending state for
+// it is delivered, so no aggregate spans the migration boundary. It
+// returns the number of aggregates flushed.
+func (rp *ReceivePath) FlushWhere(pred func(aggregate.FlowKey) bool) int {
+	return rp.engine.FlushWhere(pred)
+}

@@ -26,6 +26,15 @@ type FlowTable struct {
 	mask   uint32
 	count  int
 	queues int // softirq CPU count for steal detection (0 = unknown)
+
+	// owners, when set, is the live bucket→CPU steering map shared with
+	// the NICs: shard ownership follows indirection rewrites instead of
+	// the static bucket-mod-queues fill.
+	owners *rss.Map
+	// flowOwners holds aRFS per-flow ownership overrides: a steered
+	// flow's deliveries are expected from its application CPU, whatever
+	// its bucket's owner is.
+	flowOwners map[FlowKey]int
 }
 
 // flowShard is one shard: a private demux map plus per-shard receive
@@ -105,6 +114,13 @@ func (t *FlowTable) Insert(k FlowKey, ep *tcp.Endpoint) error {
 	return nil
 }
 
+// Has reports whether k is registered, without touching any delivery
+// counter (control-path existence check).
+func (t *FlowTable) Has(k FlowKey) bool {
+	_, ok := t.shards[t.ShardOf(k)].conns[k]
+	return ok
+}
+
 // Remove unregisters the endpoint bound to k, reporting whether it
 // existed.
 func (t *FlowTable) Remove(k FlowKey) bool {
@@ -113,6 +129,7 @@ func (t *FlowTable) Remove(k FlowKey) bool {
 		return false
 	}
 	delete(s.conns, k)
+	delete(t.flowOwners, k)
 	s.stats.Endpoints--
 	t.count--
 	return true
@@ -122,6 +139,47 @@ func (t *FlowTable) Remove(k FlowKey) bool {
 // defines shard ownership for steal detection: the owner of a shard's
 // buckets is queue = bucket mod queues. 0 disables the accounting.
 func (t *FlowTable) SetQueues(n int) { t.queues = n }
+
+// SetOwnerMap ties shard ownership to a live steering map (normally the
+// same rss.Map the machine's NICs steer with): when the rebalancer
+// repoints a bucket, the shard's expected CPU moves with it, so steal
+// accounting measures violations of the *current* steering, not of the
+// boot-time fill.
+func (t *FlowTable) SetOwnerMap(m *rss.Map) { t.owners = m }
+
+// SetFlowOwner records an aRFS override: k's deliveries are expected from
+// cpu regardless of its bucket's owner. Cleared by ClearFlowOwner or when
+// the flow is removed.
+func (t *FlowTable) SetFlowOwner(k FlowKey, cpu int) {
+	if t.flowOwners == nil {
+		t.flowOwners = make(map[FlowKey]int)
+	}
+	t.flowOwners[k] = cpu
+}
+
+// ClearFlowOwner drops k's aRFS override (rule eviction or removal).
+func (t *FlowTable) ClearFlowOwner(k FlowKey) { delete(t.flowOwners, k) }
+
+// FlowOwnerOverrides returns the number of live per-flow overrides.
+func (t *FlowTable) FlowOwnerOverrides() int { return len(t.flowOwners) }
+
+// OwnerOf returns the CPU expected to deliver k's packets under the
+// current steering (per-flow override, then the live map, then the static
+// fill), or -1 when ownership accounting is off.
+func (t *FlowTable) OwnerOf(k FlowKey, hash uint32) int {
+	if len(t.flowOwners) > 0 {
+		if cpu, ok := t.flowOwners[k]; ok {
+			return cpu
+		}
+	}
+	if t.owners != nil {
+		return t.owners.Queue(hash)
+	}
+	if t.queues > 0 {
+		return rss.QueueOf(hash, t.queues)
+	}
+	return -1
+}
 
 // Lookup demuxes k without attributing the delivery to a CPU; see
 // LookupOn.
@@ -142,8 +200,10 @@ func (t *FlowTable) LookupOn(cpu int, k FlowKey, hash uint32, netPackets int, ag
 		hash = hashOf(k)
 	}
 	s := &t.shards[rss.ShardOf(hash, len(t.shards))]
-	if cpu >= 0 && t.queues > 0 && rss.QueueOf(hash, t.queues) != cpu {
-		s.stats.Steals++
+	if cpu >= 0 && t.queues > 0 {
+		if owner := t.OwnerOf(k, hash); owner >= 0 && owner != cpu {
+			s.stats.Steals++
+		}
 	}
 	ep, ok := s.conns[k]
 	if !ok {

@@ -39,6 +39,10 @@ type Stats struct {
 	Malformed      uint64
 	HostPacketsOut uint64
 	SoftCsumVerify uint64
+	// TimeWaitEntered counts flows moved into the TIME_WAIT table after
+	// teardown; TimeWaitReaped counts expiries that unregistered them.
+	TimeWaitEntered uint64
+	TimeWaitReaped  uint64
 }
 
 // Stack is one network namespace: an IP layer with a sharded TCP demux
@@ -55,9 +59,23 @@ type Stack struct {
 	// cost on receive (the Xen guest uses it for its side of the
 	// paravirtual plumbing accounting; zero natively).
 	ExtraRxPerPacket uint64
+	// OnSockRead, when set, observes every delivery to an endpoint whose
+	// application CPU is pinned: the socket-read hook accelerated RFS
+	// keys on (the kernel's rps_sock_flow update at recvmsg time). key is
+	// the flow, hash the steering hash, appCPU where the application
+	// consumes, cpu the softirq CPU that delivered (-1 = unattributed).
+	OnSockRead func(key FlowKey, hash uint32, appCPU, cpu int)
 
-	table *FlowTable
-	stats Stats
+	table    *FlowTable
+	timeWait []twEntry
+	stats    Stats
+}
+
+// twEntry is one TIME_WAIT table entry: a torn-down flow whose demux
+// entry lingers (ACKing retransmitted FINs) until the deadline passes.
+type twEntry struct {
+	key      FlowKey
+	deadline uint64
 }
 
 // New creates an empty stack charging m under p, with the default shard
@@ -120,6 +138,54 @@ func (s *Stack) Unregister(remoteIP, localIP ipv4.Addr, remotePort, localPort ui
 
 // Endpoints returns the number of registered endpoints.
 func (s *Stack) Endpoints() int { return s.table.Len() }
+
+// EnterTimeWait moves the flow keyed by the given addressing into the
+// TIME_WAIT table: its demux entry stays live — a retransmitted FIN must
+// still find the endpoint and be ACKed — but the flow is scheduled for
+// unregistration once deadline passes (the 2·MSL linger, scaled to
+// simulation time). It reports false when the flow is not registered or
+// already waiting.
+func (s *Stack) EnterTimeWait(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16, deadline uint64) bool {
+	k := FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
+	if !s.table.Has(k) {
+		return false
+	}
+	for _, e := range s.timeWait {
+		if e.key == k {
+			return false
+		}
+	}
+	s.timeWait = append(s.timeWait, twEntry{key: k, deadline: deadline})
+	s.stats.TimeWaitEntered++
+	return true
+}
+
+// ReapTimeWait unregisters every TIME_WAIT flow whose deadline has passed
+// at virtual time now, returning the reaped keys (the caller releases any
+// peer-side state keyed on them). Teardown is receive-path work: each reap
+// charges the demux-table update like any other non-proto mutation.
+func (s *Stack) ReapTimeWait(now uint64) []FlowKey {
+	if len(s.timeWait) == 0 {
+		return nil
+	}
+	var reaped []FlowKey
+	live := s.timeWait[:0]
+	for _, e := range s.timeWait {
+		if now >= e.deadline {
+			s.meter.Charge(cycles.NonProto, s.params.LockCost(1))
+			s.table.Remove(e.key)
+			s.stats.TimeWaitReaped++
+			reaped = append(reaped, e.key)
+		} else {
+			live = append(live, e)
+		}
+	}
+	s.timeWait = live
+	return reaped
+}
+
+// TimeWaitLen returns the number of flows lingering in TIME_WAIT.
+func (s *Stack) TimeWaitLen() int { return len(s.timeWait) }
 
 // Input receives one host packet (plain or aggregated SKB) from the driver
 // or the aggregation engine, runs IP receive processing and the non-proto
@@ -185,6 +251,15 @@ func (s *Stack) inputFrom(cpu int, skb *buf.SKB) {
 		s.stats.NoSocket++
 		s.alloc.Free(skb)
 		return
+	}
+
+	// Socket-read observation for accelerated RFS: the delivery wakes the
+	// application, whose scheduler placement is what steering should
+	// follow. Only pinned endpoints (AppCPU >= 0) are observable.
+	if s.OnSockRead != nil {
+		if app := ep.AppCPU(); app >= 0 {
+			s.OnSockRead(key, skb.RSSHash, app, cpu)
+		}
 	}
 
 	// Assemble the TCP layer's view: head payload plus chained fragment

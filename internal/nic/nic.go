@@ -69,6 +69,15 @@ type Config struct {
 	// while that queue's previous interrupt is unacknowledged
 	// (1 = interrupt per frame).
 	IntThrottleFrames int
+	// Indir, when set, is the (shared) RSS indirection table the NIC
+	// steers with; nil builds a private round-robin table. A machine
+	// shares one Map across its NICs and its flow table so a steering
+	// policy re-homes a bucket everywhere with one write.
+	Indir *rss.Map
+	// FlowRuleSlots bounds the exact-match steering-rule table
+	// (Flow-Director/aRFS-class filters); 0 = no rule table, the paper's
+	// e1000-class hardware.
+	FlowRuleSlots int
 }
 
 // DefaultConfig mirrors the paper's e1000 setup.
@@ -106,8 +115,15 @@ type rxQueue struct {
 
 // NIC is one simulated network interface.
 type NIC struct {
-	cfg Config
-	rxq []rxQueue
+	cfg   Config
+	rxq   []rxQueue
+	indir *rss.Map
+	rules map[FlowTuple]*flowRule
+
+	// bucketFrames counts received frames per RSS bucket — the load
+	// observation a rebalancing policy steers by.
+	bucketFrames [rss.Buckets]uint64
+	ruleStats    FlowRuleStats
 
 	// OnInterrupt is invoked with the queue index when a queue asserts
 	// its interrupt; the machine uses it to schedule driver processing
@@ -134,10 +150,25 @@ func New(cfg Config) (*NIC, error) {
 	if cfg.RxQueues < 0 || cfg.RxQueues > rss.Buckets {
 		return nil, fmt.Errorf("nic %s: RxQueues %d must be in [1, %d]", cfg.Name, cfg.RxQueues, rss.Buckets)
 	}
+	if cfg.FlowRuleSlots < 0 {
+		return nil, fmt.Errorf("nic %s: FlowRuleSlots %d must be non-negative", cfg.Name, cfg.FlowRuleSlots)
+	}
 	n := &NIC{cfg: cfg, rxq: make([]rxQueue, cfg.RxQueues)}
 	for q := range n.rxq {
 		n.rxq[q].ring = make([]Frame, cfg.RxRingSize)
 	}
+	n.indir = cfg.Indir
+	if n.indir == nil {
+		m, err := rss.NewMap(cfg.RxQueues)
+		if err != nil {
+			return nil, fmt.Errorf("nic %s: %w", cfg.Name, err)
+		}
+		n.indir = m
+	} else if n.indir.Queues() > cfg.RxQueues {
+		return nil, fmt.Errorf("nic %s: indirection table spans %d queues, device has %d",
+			cfg.Name, n.indir.Queues(), cfg.RxQueues)
+	}
+	n.rules = make(map[FlowTuple]*flowRule)
 	return n, nil
 }
 
@@ -188,13 +219,12 @@ func (n *NIC) RxNearFull(headroom int) bool {
 // cycles are charged). It returns false and counts a drop if the target
 // ring is full.
 func (n *NIC) ReceiveFromWire(f Frame) bool {
-	csumOK, hash, hashed := n.classify(f.Data)
+	csumOK, hash, tuple, hashed := n.classify(f.Data)
 	q := 0
 	if hashed {
 		f.RSSHash = hash
-		if len(n.rxq) > 1 {
-			q = rss.QueueOf(hash, len(n.rxq))
-		}
+		n.bucketFrames[rss.Bucket(hash)]++
+		q = n.steerQueue(tuple, hash)
 	}
 	rxq := &n.rxq[q]
 	if rxq.len == len(rxq.ring) {
@@ -291,31 +321,33 @@ func (n *NIC) Transmit(f Frame) {
 }
 
 // classify performs the hardware parse of an IPv4/TCP frame: IP and TCP
-// checksum validation plus the Toeplitz steering hash, in one pass over
-// the headers. Non-TCP or malformed frames report (false, 0, false),
-// which routes them around aggregation and onto the default queue.
-func (n *NIC) classify(frame []byte) (csumOK bool, hash uint32, hashed bool) {
+// checksum validation plus the Toeplitz steering hash and the four-tuple
+// (for exact-match rule lookup), in one pass over the headers. Non-TCP or
+// malformed frames report hashed = false, which routes them around
+// aggregation and onto the default queue.
+func (n *NIC) classify(frame []byte) (csumOK bool, hash uint32, tuple FlowTuple, hashed bool) {
 	if len(frame) < ether.HeaderLen+ipv4.MinHeaderLen {
-		return false, 0, false
+		return false, 0, tuple, false
 	}
 	eh, err := ether.Parse(frame)
 	if err != nil || eh.Type != ether.TypeIPv4 {
-		return false, 0, false
+		return false, 0, tuple, false
 	}
 	l3 := frame[ether.HeaderLen:]
 	ipOK := ipv4.VerifyChecksum(l3)
 	ih, err := ipv4.Parse(l3)
 	if err != nil || ih.Proto != ipv4.ProtoTCP || ih.IsFragment() {
-		return false, 0, false
+		return false, 0, tuple, false
 	}
 	seg := l3[ih.IHL:ih.TotalLen]
 	th, err := tcpwire.Parse(seg)
 	if err != nil {
-		return false, 0, false
+		return false, 0, tuple, false
 	}
+	tuple = FlowTuple{Src: ih.Src, Dst: ih.Dst, SrcPort: th.SrcPort, DstPort: th.DstPort}
 	hash = rss.HashTCP4(ih.Src, ih.Dst, th.SrcPort, th.DstPort)
 	if !ipOK {
-		return false, hash, true
+		return false, hash, tuple, true
 	}
-	return tcpwire.VerifyChecksum(seg, ih.Src, ih.Dst), hash, true
+	return tcpwire.VerifyChecksum(seg, ih.Src, ih.Dst), hash, tuple, true
 }

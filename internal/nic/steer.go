@@ -1,0 +1,132 @@
+// Flow steering beyond the hash: real NICs (ixgbe Flow Director, mlx5
+// aRFS) keep a bounded table of exact-match filters that override the RSS
+// indirection for individual connections — the hardware half of
+// accelerated RFS, where the kernel programs a rule so a flow's frames
+// follow the CPU its consuming application runs on. This file models that
+// table: four-tuple → queue, bounded capacity, LRU eviction when full.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/ipv4"
+	"repro/internal/rss"
+)
+
+// FlowTuple is the exact-match key of a steering rule: the connection
+// four-tuple as it appears on received frames (Src = remote sender).
+type FlowTuple struct {
+	Src, Dst         ipv4.Addr
+	SrcPort, DstPort uint16
+}
+
+// flowRule is one programmed filter.
+type flowRule struct {
+	queue   int
+	lastHit uint64 // NIC frame clock at the last match (LRU eviction key)
+}
+
+// FlowRuleStats counts steering-rule activity on one NIC.
+type FlowRuleStats struct {
+	// Programmed counts rule installs (including queue updates of an
+	// existing rule); Removed counts explicit removals.
+	Programmed, Removed uint64
+	// Evicted counts rules displaced by capacity pressure.
+	Evicted uint64
+	// Hits counts received frames steered by a rule (overriding the
+	// indirection table); Misses counts classifiable frames that matched
+	// no rule while the table was non-empty.
+	Hits, Misses uint64
+}
+
+// FlowRuleCap returns the rule-table capacity (0 = steering filters
+// absent, the paper's e1000-class hardware).
+func (n *NIC) FlowRuleCap() int { return n.cfg.FlowRuleSlots }
+
+// FlowRuleLen returns the number of live rules.
+func (n *NIC) FlowRuleLen() int { return len(n.rules) }
+
+// FlowRuleStatsRef returns a copy of the rule counters.
+func (n *NIC) FlowRuleStatsRef() FlowRuleStats { return n.ruleStats }
+
+// ProgramFlowRule installs (or updates) an exact-match rule steering t's
+// frames to queue. When the table is full the least-recently-hit rule is
+// evicted to make room; the evicted tuple is returned so the control path
+// can drop any per-flow state keyed on it (e.g. the flow table's ownership
+// override). It errors when the NIC has no rule table or the queue is out
+// of range.
+func (n *NIC) ProgramFlowRule(t FlowTuple, queue int) (evicted *FlowTuple, err error) {
+	if n.cfg.FlowRuleSlots <= 0 {
+		return nil, fmt.Errorf("nic %s: no flow steering table", n.cfg.Name)
+	}
+	if queue < 0 || queue >= len(n.rxq) {
+		return nil, fmt.Errorf("nic %s: steer queue %d out of range [0, %d)", n.cfg.Name, queue, len(n.rxq))
+	}
+	if r, ok := n.rules[t]; ok {
+		r.queue = queue
+		n.ruleStats.Programmed++
+		return nil, nil
+	}
+	if len(n.rules) >= n.cfg.FlowRuleSlots {
+		victim := n.evictLRURule()
+		evicted = &victim
+	}
+	n.rules[t] = &flowRule{queue: queue, lastHit: n.stats.RxFrames}
+	n.ruleStats.Programmed++
+	return evicted, nil
+}
+
+// RemoveFlowRule drops t's rule, reporting whether it existed.
+func (n *NIC) RemoveFlowRule(t FlowTuple) bool {
+	if _, ok := n.rules[t]; !ok {
+		return false
+	}
+	delete(n.rules, t)
+	n.ruleStats.Removed++
+	return true
+}
+
+// evictLRURule removes and returns the least-recently-hit rule's tuple.
+func (n *NIC) evictLRURule() FlowTuple {
+	var victim FlowTuple
+	first := true
+	var oldest uint64
+	for t, r := range n.rules {
+		if first || r.lastHit < oldest {
+			victim, oldest, first = t, r.lastHit, false
+		}
+	}
+	delete(n.rules, victim)
+	n.ruleStats.Evicted++
+	return victim
+}
+
+// steerQueue resolves the receive queue for a classified frame: an
+// exact-match rule wins over the indirection table. Called from
+// ReceiveFromWire with the parsed tuple and hash.
+func (n *NIC) steerQueue(t FlowTuple, hash uint32) int {
+	if len(n.rules) > 0 {
+		if r, ok := n.rules[t]; ok {
+			r.lastHit = n.stats.RxFrames
+			n.ruleStats.Hits++
+			return r.queue
+		}
+		n.ruleStats.Misses++
+	}
+	if len(n.rxq) > 1 {
+		return n.indir.Queue(hash)
+	}
+	return 0
+}
+
+// BucketFrames returns a copy of the per-bucket received-frame counters
+// (index = RSS bucket). The rebalancing policy diffs successive snapshots
+// to see where load actually lands.
+func (n *NIC) BucketFrames() []uint64 {
+	out := make([]uint64, len(n.bucketFrames))
+	copy(out, n.bucketFrames[:])
+	return out
+}
+
+// Indirection exposes the NIC's (possibly shared) indirection table.
+func (n *NIC) Indirection() *rss.Map { return n.indir }

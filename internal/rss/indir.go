@@ -1,0 +1,68 @@
+package rss
+
+import "fmt"
+
+// Map is a mutable RSS indirection table: the bucket→queue mapping that
+// real RSS hardware keeps in device registers and that `ethtool -X`
+// rewrites at runtime. QueueOf is the static round-robin fill; Map is the
+// same table made writable, so a steering policy (internal/steer) can move
+// buckets between CPUs while the hash→bucket half stays immutable.
+//
+// A Map is shared by everything that must agree on bucket ownership: the
+// NICs consult it to pick the receive queue, and the flow table consults
+// it to attribute deliveries (steal detection). Rewriting one entry
+// therefore re-homes the bucket's flows and their shard ownership in a
+// single step.
+//
+// The simulation is single-threaded per machine (discrete-event), so the
+// Map needs no locking — exactly like the real table, which the device
+// reads while only the control path writes.
+type Map struct {
+	queues int
+	q      [Buckets]int32
+}
+
+// NewMap creates an indirection table over the given number of queues,
+// filled round-robin (bucket b → queue b mod queues) — identical to the
+// static QueueOf spread, so an untouched Map steers bit-for-bit like the
+// fixed table it replaces.
+func NewMap(queues int) (*Map, error) {
+	if queues <= 0 || queues > Buckets {
+		return nil, fmt.Errorf("rss: queue count %d must be in [1, %d]", queues, Buckets)
+	}
+	m := &Map{queues: queues}
+	for b := 0; b < Buckets; b++ {
+		m.q[b] = int32(b % queues)
+	}
+	return m, nil
+}
+
+// Queues returns the number of queues the map steers onto.
+func (m *Map) Queues() int { return m.queues }
+
+// Queue maps a hash onto its current queue.
+func (m *Map) Queue(hash uint32) int { return int(m.q[Bucket(hash)]) }
+
+// Entry returns bucket b's current queue.
+func (m *Map) Entry(b int) int { return int(m.q[b]) }
+
+// Set repoints bucket b to queue; out-of-range values panic (a steering
+// policy bug, not a data-path condition).
+func (m *Map) Set(b, queue int) {
+	if b < 0 || b >= Buckets {
+		panic(fmt.Sprintf("rss: bucket %d out of range [0, %d)", b, Buckets))
+	}
+	if queue < 0 || queue >= m.queues {
+		panic(fmt.Sprintf("rss: queue %d out of range [0, %d)", queue, m.queues))
+	}
+	m.q[b] = int32(queue)
+}
+
+// Snapshot returns a copy of the table (bucket index → queue).
+func (m *Map) Snapshot() []int {
+	out := make([]int, Buckets)
+	for b := range m.q {
+		out[b] = int(m.q[b])
+	}
+	return out
+}

@@ -69,16 +69,21 @@ func TestCorruptedBytesNeverReachApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The default source writes zeros; corruption flips the last payload
-	// byte to nonzero. Watch the delivered stream.
+	// Senders transmit the deterministic pattern stream; every delivered
+	// byte must match its position in it — corruption (and any
+	// misordering) can never surface in the application's stream.
 	bad := 0
 	for _, ep := range top.machine.Endpoints() {
+		pos := uint32(1) // default IRS: first payload byte's sequence
 		ep.AppSink = func(b []byte) {
-			for _, x := range b {
-				if x != 0 {
+			want := make([]byte, len(b))
+			PatternPayload(pos, want)
+			for i := range b {
+				if b[i] != want[i] {
 					bad++
 				}
 			}
+			pos += uint32(len(b))
 		}
 	}
 	top.sim.RunUntil(cfg.WarmupNs + cfg.DurationNs)

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/aggregate"
 	"repro/internal/buf"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/rss"
 	"repro/internal/tcp"
 )
 
@@ -35,6 +37,30 @@ type Machine interface {
 	// FlowTable exposes the receiving stack's sharded demux table
 	// (per-shard stats: flows, demux hits, steals).
 	FlowTable() *netstack.FlowTable
+	// Netstack exposes the receiving stack itself (steering hooks,
+	// TIME_WAIT reaping).
+	Netstack() *netstack.Stack
+	// SteerMap returns the live bucket→CPU steering map that defines
+	// shard ownership (shared with the NIC indirection natively; the
+	// netback channel map on Xen). Never nil.
+	SteerMap() *rss.Map
+	// SteerTargets returns the number of CPUs steering may target —
+	// valid bucket owners and application CPUs. Natively every softirq
+	// CPU qualifies; on Xen only the guest vCPUs do (an asymmetric
+	// machine with fewer vCPUs than dom0 queues has cores that run dom0
+	// work only and can own no channel).
+	SteerTargets() int
+	// SteerBucket repoints bucket b to cpu: the machine drains the old
+	// owner's pending aggregation state for the bucket's flows (so no
+	// aggregate spans the migration boundary), then rewrites the
+	// indirection everywhere it is consulted.
+	SteerBucket(b, cpu int)
+	// SteerFlow programs an exact-match aRFS rule steering flow k
+	// (hashing to hash) onto cpu, overriding the indirection; it drains
+	// pending aggregation state for the flow first. When the bounded
+	// rule table evicts a victim to make room, the victim's key is
+	// returned so the policy can forget it.
+	SteerFlow(k netstack.FlowKey, hash uint32, cpu int) (evicted *netstack.FlowKey, err error)
 	RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error
 	UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16)
 	Endpoints() []*tcp.Endpoint
@@ -71,6 +97,9 @@ type NativeConfig struct {
 	Aggregation core.Options
 	// Clock supplies virtual time.
 	Clock tcp.Clock
+	// FlowRuleSlots sizes each NIC's exact-match steering-rule table
+	// (0 = no aRFS filters, the paper's hardware).
+	FlowRuleSlots int
 }
 
 // NativeMachine is a native Linux receiver host.
@@ -95,6 +124,11 @@ type NativeMachine struct {
 	framesIn uint64
 	polling  [][]bool // NAPI poll lists: [nic][queue] with signaled irq
 	wired    bool     // interrupts routed via WireInterrupts
+
+	// steerMap is the machine's bucket→CPU steering truth, shared by
+	// every NIC's indirection lookup and the flow table's ownership
+	// accounting; its round-robin initial fill is the static RSS spread.
+	steerMap *rss.Map
 }
 
 // NewNative assembles a native machine.
@@ -119,6 +153,12 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	m.Stack = netstack.New(&m.Meter, &m.Params, m.Alloc)
 	m.Stack.Tx = nativeRouter{m}
 	m.Stack.SetQueues(m.cpus)
+	sm, err := rss.NewMap(m.cpus)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	m.steerMap = sm
+	m.Stack.FlowTable().SetOwnerMap(sm)
 
 	if cfg.Mode == NativeOptimized {
 		opts := cfg.Aggregation
@@ -141,6 +181,8 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	for i := 0; i < cfg.NICCount; i++ {
 		ncfg := nic.DefaultConfig(fmt.Sprintf("eth%d", i))
 		ncfg.RxQueues = m.cpus
+		ncfg.Indir = m.steerMap
+		ncfg.FlowRuleSlots = cfg.FlowRuleSlots
 		ncfg.IntThrottleFrames = 16 // e1000-style interrupt throttling; the
 		// link flushes the line when the wire goes idle, so latency
 		// workloads are not delayed (§5.4)
@@ -206,6 +248,88 @@ func (m *NativeMachine) ReceivePaths() []*core.ReceivePath { return m.rps }
 // FlowTable exposes the stack's sharded demux table.
 func (m *NativeMachine) FlowTable() *netstack.FlowTable { return m.Stack.FlowTable() }
 
+// Netstack exposes the receiving stack.
+func (m *NativeMachine) Netstack() *netstack.Stack { return m.Stack }
+
+// SteerMap returns the machine's live bucket→CPU steering map.
+func (m *NativeMachine) SteerMap() *rss.Map { return m.steerMap }
+
+// SteerTargets: every softirq CPU can own buckets and applications.
+func (m *NativeMachine) SteerTargets() int { return m.cpus }
+
+// SteerBucket repoints bucket b to cpu. Handoff order matters: the old
+// owner's pending aggregates for the bucket's flows are flushed *before*
+// the table is rewritten, so every frame the old CPU has already absorbed
+// reaches the stack ahead of anything the new CPU will aggregate — no
+// aggregate ever contains frames from both sides of the boundary. Frames
+// still queued on the old CPU (NIC ring, raw softirq queue) are processed
+// there later and counted as shard steals, which is exactly what they are.
+func (m *NativeMachine) SteerBucket(b, cpu int) {
+	old := m.steerMap.Entry(b)
+	if old == cpu {
+		return
+	}
+	if m.rps != nil {
+		m.rps[old].FlushWhere(func(k aggregate.FlowKey) bool {
+			return rss.Bucket(rss.HashTCP4(k.Src, k.Dst, k.SrcPort, k.DstPort)) == b
+		})
+	}
+	m.steerMap.Set(b, cpu)
+	m.flushCoalescing()
+}
+
+// flushCoalescing fires any coalesced-but-unraised interrupt after a
+// steering rewrite. A rewrite cuts the old queue's arrival stream mid-
+// batch; with the wire still busy (so the link's idle flush never comes)
+// a stranded sub-threshold batch would otherwise sit in the ring
+// indefinitely, and a flow whose ACK clock depends on it deadlocks —
+// the coalescing/migration interaction Wu et al. warn about. Real drivers
+// kick the queue when they touch steering state; so does this machine.
+func (m *NativeMachine) flushCoalescing() {
+	for _, n := range m.nics {
+		n.FlushInterrupt()
+	}
+}
+
+// SteerFlow programs an aRFS rule steering flow k onto cpu: pending
+// aggregation state for the flow is drained from every engine (it lives in
+// at most one), the rule is installed on the NIC that carries the flow's
+// subnet, and the flow table's ownership override follows. An evicted
+// victim's key is returned for the policy to forget; the victim's
+// ownership override is cleared so accounting falls back to its bucket.
+func (m *NativeMachine) SteerFlow(k netstack.FlowKey, hash uint32, cpu int) (*netstack.FlowKey, error) {
+	table := m.Stack.FlowTable()
+	if table.OwnerOf(k, hash) == cpu {
+		return nil, nil
+	}
+	core.FlushFlow(m.rps, k.Src, k.Dst, k.SrcPort, k.DstPort)
+	t := nic.FlowTuple{Src: k.Src, Dst: k.Dst, SrcPort: k.SrcPort, DstPort: k.DstPort}
+	victim, err := m.nics[m.nicOf(k)].ProgramFlowRule(t, cpu)
+	if err != nil {
+		return nil, err
+	}
+	table.SetFlowOwner(k, cpu)
+	m.flushCoalescing()
+	if victim == nil {
+		return nil, nil
+	}
+	// The evicted victim is itself re-steered (back to its bucket's
+	// indirection), so it gets the same handoff: drop the override and
+	// drain its pending state before frames can land elsewhere.
+	vk := netstack.FlowKey{Src: victim.Src, Dst: victim.Dst, SrcPort: victim.SrcPort, DstPort: victim.DstPort}
+	table.ClearFlowOwner(vk)
+	core.FlushFlow(m.rps, vk.Src, vk.Dst, vk.SrcPort, vk.DstPort)
+	return &vk, nil
+}
+
+// nicOf maps a flow to the NIC carrying its sender subnet (10.0.<n>.x).
+func (m *NativeMachine) nicOf(k netstack.FlowKey) int {
+	if n := int(k.Src[2]); n < len(m.nics) {
+		return n
+	}
+	return 0
+}
+
 // ProcessRound runs one softirq round on the given CPU: polls of that
 // CPU's queue on every NIC, aggregation on that CPU's receive path, stack
 // and endpoint processing, plus the per-frame misc (and SMP coherence)
@@ -260,10 +384,16 @@ func (m *NativeMachine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]
 }
 
 // UnregisterEndpoint removes an endpoint from the demux table (connection
-// teardown). The endpoint stays on the machine's timer/accounting list so
-// bytes it delivered remain counted.
+// teardown), dropping any steering rule programmed for it. The endpoint
+// stays on the machine's timer/accounting list so bytes it delivered
+// remain counted.
 func (m *NativeMachine) UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16) {
 	m.Stack.Unregister(remoteIP, localIP, remotePort, localPort)
+	k := netstack.FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
+	n := m.nics[m.nicOf(k)]
+	if n.FlowRuleLen() > 0 {
+		n.RemoveFlowRule(nic.FlowTuple{Src: k.Src, Dst: k.Dst, SrcPort: k.SrcPort, DstPort: k.DstPort})
+	}
 }
 
 // Endpoints returns the registered endpoints.

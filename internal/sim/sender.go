@@ -112,6 +112,18 @@ func (m *SenderMachine) AddConn(localIP, remoteIP ipv4.Addr, localPort, remotePo
 	return m.addConn(localIP, remoteIP, localPort, remotePort)
 }
 
+// PatternPayload is the deterministic byte source every sim sender
+// transmits: byte at absolute sequence s is a fixed mix of s. Receivers
+// (tests) can therefore verify end-to-end that the delivered stream is
+// the in-order original — across aggregation, ACK offload, retransmission
+// and flow-steering migration — without buffering a reference copy.
+func PatternPayload(seq uint32, b []byte) {
+	for i := range b {
+		s := seq + uint32(i)
+		b[i] = byte((s * 2654435761) >> 24) // Knuth multiplicative mix
+	}
+}
+
 func (m *SenderMachine) addConn(localIP, remoteIP ipv4.Addr, localPort, remotePort uint16) (*tcp.Endpoint, error) {
 	if _, dup := m.byPort[localPort]; dup {
 		return nil, fmt.Errorf("sim: duplicate sender port %d", localPort)
@@ -119,6 +131,7 @@ func (m *SenderMachine) addConn(localIP, remoteIP ipv4.Addr, localPort, remotePo
 	cfg := tcp.DefaultConfig()
 	cfg.LocalIP, cfg.RemoteIP = localIP, remoteIP
 	cfg.LocalPort, cfg.RemotePort = localPort, remotePort
+	cfg.Source = PatternPayload
 	ep, err := tcp.New(cfg, &m.meter, &m.params, m.alloc, m.sim.Clock())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netstack"
+	"repro/internal/rss"
+	"repro/internal/steer"
+)
+
+// steerController wires the steering policies (internal/steer) into a
+// running stream experiment: it owns the rebalance epoch loop, routes
+// socket-read observations into the aRFS policy, applies the resulting
+// indirection rewrites and rule programs through the machine (which does
+// the migration-safe handoff), and drives the app-CPU-migration workload.
+type steerController struct {
+	top *streamTopology
+	cfg SteerConfig
+
+	reb  *steer.Rebalancer
+	arfs *steer.ARFS[netstack.FlowKey]
+
+	epochNs   uint64
+	prevBusy  []uint64
+	prevLoads []uint64 // per bucket, summed over NICs
+
+	moves         uint64
+	appMigrations uint64
+	migrateIdx    int
+
+	// applying guards against re-entry: applying a steering change
+	// flushes pending aggregates, whose synchronous delivery fires
+	// OnSockRead again — without the guard a flow with a pending
+	// aggregate would program its rule twice (nested call first, outer
+	// call again), double-counting rule stats and repeating the handoff
+	// work.
+	applying bool
+}
+
+// defaultSteerEpochNs is the rebalance period: 5 ms — long against the
+// ~125 µs RTT (indirection rewrites settle between epochs), short against
+// the 150 ms measured interval (a skewed run gets ~30 correction points).
+const defaultSteerEpochNs = 5_000_000
+
+func newSteerController(top *streamTopology, cfg SteerConfig) (*steerController, error) {
+	sc := &steerController{top: top, cfg: cfg, epochNs: cfg.EpochNs}
+	if sc.epochNs == 0 {
+		sc.epochNs = defaultSteerEpochNs
+	}
+	if cfg.Enabled {
+		reb, err := steer.NewRebalancer(steer.RebalanceConfig{
+			SpreadThreshold:  cfg.SpreadThreshold,
+			MinMoveEpochs:    cfg.MinMoveEpochs,
+			MaxMovesPerEpoch: cfg.MaxMovesPerEpoch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		sc.reb = reb
+		sc.prevBusy = make([]uint64, top.machine.CPUs())
+		sc.prevLoads = make([]uint64, rss.Buckets)
+		top.sim.After(sc.epochNs, sc.epochTick)
+	}
+	if cfg.ARFS {
+		sc.arfs = steer.NewARFS[netstack.FlowKey]()
+		sc.top.machine.Netstack().OnSockRead = sc.onSockRead
+		if cfg.AppMigrateIntervalNs > 0 {
+			top.sim.After(cfg.AppMigrateIntervalNs, sc.migrateTick)
+		}
+	}
+	return sc, nil
+}
+
+// epochTick is one rebalance evaluation: diff per-CPU busy cycles and
+// per-bucket frame counts against the previous epoch, plan moves, apply
+// each through the machine on the losing CPU's account. Only the
+// steering-target CPUs are planned over: on an asymmetric Xen machine
+// with fewer vCPUs than dom0 queues, the dom0-only cores can own no
+// channel, so their heat is invisible to (and unfixable by) the
+// bucket→channel rebalancer.
+func (sc *steerController) epochTick() {
+	top := sc.top
+	busy := top.cpu.perCPUBusy()
+	epochCycles := top.machine.ParamsRef().ClockHz * float64(sc.epochNs) / 1e9
+	targets := top.machine.SteerTargets()
+	util := make([]float64, targets)
+	for c := range util {
+		util[c] = float64(busy[c]-sc.prevBusy[c]) / epochCycles
+	}
+	sc.prevBusy = busy
+
+	loads := make([]uint64, rss.Buckets)
+	for _, n := range top.machine.NICs() {
+		for b, f := range n.BucketFrames() {
+			loads[b] += f
+		}
+	}
+	delta := make([]uint64, rss.Buckets)
+	for b := range loads {
+		delta[b] = loads[b] - sc.prevLoads[b]
+	}
+	sc.prevLoads = loads
+
+	moves := sc.reb.Plan(util, delta, top.machine.SteerMap().Snapshot())
+	sc.applying = true
+	for _, mv := range moves {
+		mv := mv
+		top.cpu.runOn(mv.From, func() { top.machine.SteerBucket(mv.Bucket, mv.To) })
+		sc.moves++
+	}
+	sc.applying = false
+	top.sim.After(sc.epochNs, sc.epochTick)
+}
+
+// onSockRead is the stack's socket-read observation: flow k's application
+// consumed on appCPU. When the policy wants the flow re-steered — or the
+// delivery arrived on a different CPU than the application's, meaning the
+// flow's steering is missing or stale (rule evicted, bucket rebalanced
+// away) — the machine programs the rule (draining pending aggregation
+// state first; SteerFlow no-ops when the current owner already matches,
+// so in-flight transients cost one table lookup). An evicted victim is
+// forgotten so a later observation can re-program it.
+func (sc *steerController) onSockRead(k netstack.FlowKey, hash uint32, appCPU, cpu int) {
+	if sc.applying {
+		return // delivery is a steering change's own flush: no re-entry
+	}
+	if !sc.arfs.Observe(k, appCPU) && cpu == appCPU {
+		return
+	}
+	sc.applying = true
+	evicted, err := sc.top.machine.SteerFlow(k, hash, appCPU)
+	sc.applying = false
+	if err != nil {
+		return // no rule table on this hardware: policy stays software-only
+	}
+	if evicted != nil {
+		sc.arfs.Forget(*evicted)
+	}
+}
+
+// migrateTick re-pins one endpoint's application to the next CPU, round-
+// robin over endpoints and CPUs — the scheduler moving application
+// threads mid-stream. The next delivery's socket-read observation makes
+// aRFS chase it.
+func (sc *steerController) migrateTick() {
+	// The machine's endpoint list retains torn-down flows (for byte
+	// accounting); they are unpinned at teardown, so scan for the next
+	// live pinned application rather than wasting the tick on a corpse.
+	eps := sc.top.machine.Endpoints()
+	for tries := 0; tries < len(eps); tries++ {
+		ep := eps[sc.migrateIdx%len(eps)]
+		sc.migrateIdx++
+		if cur := ep.AppCPU(); cur >= 0 {
+			ep.SetAppCPU((cur + 1) % sc.top.machine.SteerTargets())
+			sc.appMigrations++
+			break
+		}
+	}
+	sc.top.sim.After(sc.cfg.AppMigrateIntervalNs, sc.migrateTick)
+}
+
+// flowClosed drops per-flow policy state at teardown.
+func (sc *steerController) flowClosed(k netstack.FlowKey) {
+	if sc.arfs != nil {
+		sc.arfs.Forget(k)
+	}
+}
+
+// report assembles the run's steering summary.
+func (sc *steerController) report() *SteerReport {
+	r := &SteerReport{
+		Moves:         sc.moves,
+		AppMigrations: sc.appMigrations,
+		Indirection:   sc.top.machine.SteerMap().Snapshot(),
+	}
+	if sc.reb != nil {
+		s := sc.reb.Stats()
+		r.Epochs = s.Epochs
+		r.CalmEpochs = s.CalmEpochs
+	}
+	for _, n := range sc.top.machine.NICs() {
+		s := n.FlowRuleStatsRef()
+		r.RulesProgrammed += s.Programmed
+		r.RuleEvictions += s.Evicted
+		r.RuleHits += s.Hits
+		r.RuleOccupancy += n.FlowRuleLen()
+	}
+	r.FlowOwnerOverrides = sc.top.machine.FlowTable().FlowOwnerOverrides()
+	return r
+}

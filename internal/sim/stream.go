@@ -112,9 +112,47 @@ type StreamConfig struct {
 	// ChurnIntervalNs, when non-zero, tears down the oldest flow and
 	// starts a fresh one (new ports, fresh congestion window) every
 	// interval: connection arrival/teardown churn exercising flow-table
-	// insert/remove and cold-start aggregation.
+	// insert/remove and cold-start aggregation. Teardown runs the full
+	// FIN handshake: the sender's FIN consumes a sequence number, the
+	// receiver's final ACK costs receive-path cycles, and the endpoint
+	// lingers in the stack's TIME_WAIT table before unregistering.
 	ChurnIntervalNs uint64
+	// GuestVCPUs (Xen only) sets the guest vCPU / I/O channel count
+	// independently of Queues (0 = Queues): the asymmetric paravirtual
+	// topology where netback re-steers across the channels.
+	GuestVCPUs int
+	// Steering configures dynamic flow steering (zero value: static RSS,
+	// the exact PR 2 pipeline).
+	Steering SteerConfig
 }
+
+// SteerConfig are the dynamic-steering knobs of a stream run.
+type SteerConfig struct {
+	// Enabled turns on the indirection rebalancer: every epoch it
+	// observes per-CPU utilization and per-bucket load and rewrites the
+	// NICs' RSS indirection to move buckets off hot CPUs.
+	Enabled bool
+	// EpochNs is the rebalance period (0 = 5 ms).
+	EpochNs uint64
+	// SpreadThreshold, MinMoveEpochs and MaxMovesPerEpoch override the
+	// rebalancer's hysteresis/damping defaults (0 = defaults).
+	SpreadThreshold  float64
+	MinMoveEpochs    int
+	MaxMovesPerEpoch int
+	// ARFS enables accelerated-RFS: endpoints get pinned application
+	// CPUs, the netstack observes them at socket-read time, and
+	// exact-match NIC rules steer each flow to its application's CPU.
+	ARFS bool
+	// RuleTableSlots bounds each NIC's rule table (0 = 256).
+	RuleTableSlots int
+	// AppMigrateIntervalNs, when non-zero, re-pins one endpoint's
+	// application to the next CPU every interval — the scheduler-moves-
+	// the-app workload that forces aRFS to follow mid-stream.
+	AppMigrateIntervalNs uint64
+}
+
+// steeringActive reports whether any dynamic-steering machinery runs.
+func (c SteerConfig) steeringActive() bool { return c.Enabled || c.ARFS }
 
 // DefaultStreamConfig mirrors the paper's five-NIC bulk setup.
 func DefaultStreamConfig(system SystemKind, opt OptLevel) StreamConfig {
@@ -156,6 +194,48 @@ type StreamResult struct {
 	// end of the run (index = shard; cumulative over warm-up and the
 	// measured interval): registered flows, demux hits, misses, steals.
 	ShardStats []netstack.ShardStats
+	// TimeWaitEntered/TimeWaitReaped count flows that lingered in (and
+	// were reaped from) the TIME_WAIT table during churn teardown.
+	TimeWaitEntered, TimeWaitReaped uint64
+	// Steer reports dynamic-steering activity (nil when steering was
+	// off).
+	Steer *SteerReport
+}
+
+// SteerReport summarizes a run's dynamic-steering activity.
+type SteerReport struct {
+	// Epochs counts rebalance evaluations, CalmEpochs those inside the
+	// hysteresis band, Moves the indirection entries rewritten.
+	Epochs, CalmEpochs, Moves uint64
+	// RulesProgrammed/RuleEvictions/RuleHits sum the NICs' exact-match
+	// rule activity; RuleOccupancy is the live rule count at the end.
+	RulesProgrammed, RuleEvictions, RuleHits uint64
+	RuleOccupancy                            int
+	// AppMigrations counts mid-stream application re-pinnings;
+	// FlowOwnerOverrides the per-flow ownership overrides live at the
+	// end.
+	AppMigrations      uint64
+	FlowOwnerOverrides int
+	// Indirection is the final bucket→CPU table.
+	Indirection []int
+}
+
+// UtilSpread returns max−min per-CPU utilization — the imbalance metric
+// the rebalancer drives down.
+func (r StreamResult) UtilSpread() float64 {
+	if len(r.PerCPUUtil) == 0 {
+		return 0
+	}
+	min, max := r.PerCPUUtil[0], r.PerCPUUtil[0]
+	for _, u := range r.PerCPUUtil[1:] {
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	return max - min
 }
 
 // streamTopology holds the wired-up experiment.
@@ -166,6 +246,7 @@ type streamTopology struct {
 	links   []*Link
 	cpu     *cpuSet
 	churn   *churner
+	steer   *steerController
 }
 
 // RunStream executes one bulk-receive experiment.
@@ -222,6 +303,12 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	res.ShardStats = make([]netstack.ShardStats, table.Shards())
 	for i := range res.ShardStats {
 		res.ShardStats[i] = table.ShardStatsOf(i)
+	}
+	stackStats := top.machine.Netstack().Stats()
+	res.TimeWaitEntered = stackStats.TimeWaitEntered
+	res.TimeWaitReaped = stackStats.TimeWaitReaped
+	if top.steer != nil {
+		res.Steer = top.steer.report()
 	}
 	return res, nil
 }
@@ -295,8 +382,16 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		top.churn = newChurner(top, gen, cfg.ChurnIntervalNs)
 		s.After(cfg.ChurnIntervalNs, top.churn.tick)
 	}
+	if cfg.Steering.steeringActive() {
+		sc, err := newSteerController(top, cfg.Steering)
+		if err != nil {
+			return nil, err
+		}
+		top.steer = sc
+	}
 
-	// Periodic timer sweep (delayed ACKs, RTO backstop) and initial kick.
+	// Periodic timer sweep (delayed ACKs, RTO backstop, TIME_WAIT reap)
+	// and initial kick.
 	const sweepNs = 5_000_000
 	var sweep func()
 	sweep = func() {
@@ -308,6 +403,9 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		}
 		for _, snd := range top.senders {
 			snd.FireTimers(now)
+		}
+		if top.churn != nil {
+			top.churn.poll(now)
 		}
 		cpu.kickAll()
 		s.After(sweepNs, sweep)
@@ -327,6 +425,17 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 	}
 	aggOpts.AckOffload = cfg.Opt == OptFull
 
+	ruleSlots := 0
+	if cfg.Steering.ARFS {
+		ruleSlots = cfg.Steering.RuleTableSlots
+		if ruleSlots == 0 {
+			ruleSlots = 256
+		}
+	}
+	if cfg.GuestVCPUs != 0 && cfg.System != SystemXen {
+		return nil, fmt.Errorf("sim: GuestVCPUs is a Xen topology knob (system %v)", cfg.System)
+	}
+
 	switch cfg.System {
 	case SystemNativeUP, SystemNativeSMP:
 		params := cost.NativeUP()
@@ -341,12 +450,13 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 			mode = NativeOptimized
 		}
 		return NewNative(NativeConfig{
-			Params:      params,
-			NICCount:    cfg.NICs,
-			RxQueues:    cfg.Queues,
-			Mode:        mode,
-			Aggregation: aggOpts,
-			Clock:       s.Clock(),
+			Params:        params,
+			NICCount:      cfg.NICs,
+			RxQueues:      cfg.Queues,
+			Mode:          mode,
+			Aggregation:   aggOpts,
+			Clock:         s.Clock(),
+			FlowRuleSlots: ruleSlots,
 		})
 	case SystemXen:
 		params := cost.XenGuest()
@@ -358,12 +468,14 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 			mode = xenvirt.ModeOptimized
 		}
 		return xenvirt.New(xenvirt.Config{
-			Params:      params,
-			NICCount:    cfg.NICs,
-			Queues:      cfg.Queues,
-			Mode:        mode,
-			Aggregation: aggOpts,
-			Clock:       s.Clock(),
+			Params:        params,
+			NICCount:      cfg.NICs,
+			Queues:        cfg.Queues,
+			GuestVCPUs:    cfg.GuestVCPUs,
+			Mode:          mode,
+			Aggregation:   aggOpts,
+			Clock:         s.Clock(),
+			FlowRuleSlots: ruleSlots,
 		})
 	default:
 		return nil, fmt.Errorf("sim: unknown system %d", int(cfg.System))
@@ -458,6 +570,31 @@ func (cs *cpuSet) round(c *simCPU) {
 	if more {
 		cs.kick(c.id)
 	}
+}
+
+// runOn executes fn outside a softirq round, attributing the cycles it
+// charges to CPU id — how migration work (pending-aggregate flushes, the
+// IPI-like handoff of a steering rewrite) is billed to the CPU that loses
+// the bucket, pushing its next round out in virtual time like any other
+// busy work.
+func (cs *cpuSet) runOn(id int, fn func()) {
+	c := cs.cpus[id]
+	meter := cs.m.MeterRef()
+	prev := cs.current
+	prevBase := c.roundBase
+	c.roundBase = meter.Total()
+	cs.current = c
+	fn()
+	cs.current = prev
+	used := meter.Total() - c.roundBase
+	c.roundBase = prevBase
+	c.busyCycles += used
+	busyNs := uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
+	now := cs.sim.Now()
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	c.busyUntil += busyNs
 }
 
 // perCPUBusy returns each CPU's cumulative busy cycles.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/ipv4"
+	"repro/internal/netstack"
 	"repro/internal/tcp"
 )
 
@@ -20,6 +21,12 @@ type flowRecord struct {
 	nicIdx          int
 	senderIP, rcvIP ipv4.Addr
 	sPort, rPort    uint16
+	ep              *tcp.Endpoint // the receiver endpoint
+}
+
+// key returns the demux key the receiver sees for this flow.
+func (f flowRecord) key() netstack.FlowKey {
+	return netstack.FlowKey{Src: f.senderIP, Dst: f.rcvIP, SrcPort: f.sPort, DstPort: f.rPort}
 }
 
 // flowGen opens flows over the wired topology.
@@ -29,6 +36,7 @@ type flowGen struct {
 
 	next      int // round-robin NIC cursor / initial port index
 	churnPort int // port counter for churn replacements
+	appCPU    int // round-robin application-CPU cursor (aRFS workloads)
 	live      []flowRecord
 }
 
@@ -93,36 +101,52 @@ func (g *flowGen) open(n int, sPort, rPort uint16) error {
 	if err := top.machine.RegisterEndpoint(ep, senderIP, rcvIP, sPort, rPort); err != nil {
 		return err
 	}
+	if cfg.Steering.ARFS {
+		// Pin the consuming application round-robin over the steerable
+		// CPUs — deliberately decorrelated from the Toeplitz hash, so
+		// following the app is a real steering decision, not a no-op.
+		ep.SetAppCPU(g.appCPU % top.machine.SteerTargets())
+		g.appCPU++
+	}
 	g.live = append(g.live, flowRecord{nicIdx: n, senderIP: senderIP, rcvIP: rcvIP,
-		sPort: sPort, rPort: rPort})
+		sPort: sPort, rPort: rPort, ep: ep})
 	return nil
 }
 
-// applySkew assigns zipf-profiled rate caps to the live flows of each
-// link: the k-th flow on a link gets weight 1/(k+1)^FlowSkew, scaled so
-// each link's aggregate offered rate is skewOversubscribe times the line
-// rate — the link stays saturated while individual flows differ by
-// orders of magnitude, the heavy-hitter mix of production receivers.
+// applySkew assigns zipf-profiled rate caps to the live flows: the flow
+// with global arrival rank r gets weight 1/(r+1)^FlowSkew, and each
+// link's weights are scaled so its aggregate offered rate is
+// skewOversubscribe times the line rate — every link stays saturated
+// while individual flows differ by orders of magnitude, the heavy-hitter
+// mix of production receivers. The ranking is global (the receiver's top
+// talker lives on one link, the runner-up on another), so per-CPU load is
+// genuinely skewed: a per-link ranking would repeat the same weight
+// multiset on every link, and with the symmetric subnet addressing the
+// round-robin indirection fill cancels it into perfectly balanced CPUs —
+// an artifact no real traffic mix has.
 func (g *flowGen) applySkew() {
 	if g.cfg.FlowSkew <= 0 {
 		return
 	}
 	const skewOversubscribe = 2.0
 	const lineRateBps = 1e9
-	perLink := make([][]flowRecord, g.cfg.NICs)
-	for _, f := range g.live {
-		perLink[f.nicIdx] = append(perLink[f.nicIdx], f)
+	type ranked struct {
+		f flowRecord
+		w float64
+	}
+	perLink := make([][]ranked, g.cfg.NICs)
+	for rank, f := range g.live {
+		perLink[f.nicIdx] = append(perLink[f.nicIdx],
+			ranked{f: f, w: math.Pow(float64(rank+1), -g.cfg.FlowSkew)})
 	}
 	for n, flows := range perLink {
 		var sum float64
-		weights := make([]float64, len(flows))
-		for k := range flows {
-			weights[k] = math.Pow(float64(k+1), -g.cfg.FlowSkew)
-			sum += weights[k]
+		for _, r := range flows {
+			sum += r.w
 		}
-		for k, f := range flows {
-			rate := skewOversubscribe * lineRateBps * weights[k] / sum
-			g.top.senders[n].SetConnRate(f.sPort, rate)
+		for _, r := range flows {
+			rate := skewOversubscribe * lineRateBps * r.w / sum
+			g.top.senders[n].SetConnRate(r.f.sPort, rate)
 		}
 	}
 }
@@ -131,23 +155,42 @@ func (g *flowGen) applySkew() {
 func (g *flowGen) liveCount() int { return len(g.live) }
 
 // churner runs connection arrival/teardown churn: every interval the
-// oldest flow's application closes (the sender drains in-flight data and
-// stops), its demux entry is removed after a drain grace period, and a
-// fresh connection opens on the same link.
+// oldest flow's application closes, which triggers the full teardown
+// handshake — the sender drains in-flight data, emits a FIN (consuming a
+// sequence number), the receiver's final ACK costs receive-path cycles,
+// and the receiver endpoint lingers in the stack's TIME_WAIT table before
+// its demux entry is reaped. A fresh connection opens on the same link
+// immediately, as real servers overlap accept with lingering TIME_WAITs.
 type churner struct {
 	top      *streamTopology
 	gen      *flowGen
 	interval uint64
 	tornDown uint64
+
+	draining []drainingFlow                  // FIN in flight, not yet closed
+	inTW     map[netstack.FlowKey]flowRecord // lingering in TIME_WAIT
 }
 
-// churnDrainGraceNs is how long after the app-close a torn-down flow's
-// demux entry survives, letting in-flight data and retransmissions drain
-// (several RTTs; RTT here is ~125us).
-const churnDrainGraceNs = 20_000_000
+// drainingFlow is a torn-down flow waiting for its FIN handshake to
+// complete; deadline is the force-teardown backstop.
+type drainingFlow struct {
+	rec      flowRecord
+	deadline uint64
+}
+
+// churnTimeWaitNs is the TIME_WAIT linger before the demux entry is
+// reaped: 2·MSL scaled to simulation time (MSL here is a few ms — the
+// 125 µs RTT world's analogue of the real 30 s).
+const churnTimeWaitNs = 8_000_000
+
+// churnForceTeardownNs is the backstop: a teardown whose FIN handshake
+// has not completed by then (pathological loss) is torn down unilaterally
+// so churn keeps making progress — the old fixed-grace behaviour.
+const churnForceTeardownNs = 60_000_000
 
 func newChurner(top *streamTopology, gen *flowGen, interval uint64) *churner {
-	return &churner{top: top, gen: gen, interval: interval}
+	return &churner{top: top, gen: gen, interval: interval,
+		inTW: make(map[netstack.FlowKey]flowRecord)}
 }
 
 // tick tears one flow down and replaces it, then reschedules itself.
@@ -157,13 +200,13 @@ func (ch *churner) tick() {
 		victim := g.live[0]
 		g.live = g.live[1:]
 		ch.tornDown++
-		snd := ch.top.senders[victim.nicIdx]
-		snd.FinishConn(victim.sPort)
-		m := ch.top.machine
-		ch.top.sim.After(churnDrainGraceNs, func() {
-			m.UnregisterEndpoint(victim.senderIP, victim.rcvIP, victim.sPort, victim.rPort)
-			snd.RemoveConn(victim.sPort)
-		})
+		// Application close on the sender: drain, then FIN. The receiver
+		// side's application is gone too — unpin it so aRFS stops
+		// following (and the migration workload skips) a dead flow.
+		victim.ep.SetAppCPU(-1)
+		ch.top.senders[victim.nicIdx].FinishConn(victim.sPort)
+		ch.draining = append(ch.draining,
+			drainingFlow{rec: victim, deadline: ch.top.sim.Now() + churnForceTeardownNs})
 		if err := g.openChurnFlow(victim.nicIdx); err == nil {
 			g.applySkew()
 		}
@@ -171,4 +214,49 @@ func (ch *churner) tick() {
 		// run continues with the remaining flows.
 	}
 	ch.top.sim.After(ch.interval, ch.tick)
+}
+
+// poll advances teardown state machines (called from the periodic sweep):
+// receivers that have processed the FIN enter TIME_WAIT; expired
+// TIME_WAIT entries are reaped — unregistering the demux entry — and the
+// sender side is released; handshakes stuck past the backstop are forced
+// down.
+func (ch *churner) poll(now uint64) {
+	m := ch.top.machine
+	ns := m.Netstack()
+	keep := ch.draining[:0]
+	for _, d := range ch.draining {
+		switch {
+		case d.rec.ep.Closed():
+			ns.EnterTimeWait(d.rec.senderIP, d.rec.rcvIP, d.rec.sPort, d.rec.rPort,
+				now+churnTimeWaitNs)
+			ch.inTW[d.rec.key()] = d.rec
+		case now >= d.deadline:
+			ch.release(d.rec)
+		default:
+			keep = append(keep, d)
+		}
+	}
+	ch.draining = keep
+	for _, k := range ns.ReapTimeWait(now) {
+		if rec, ok := ch.inTW[k]; ok {
+			delete(ch.inTW, k)
+			// The demux entry is already reaped; this drops any NIC
+			// steering rule still programmed for the dead flow.
+			m.UnregisterEndpoint(rec.senderIP, rec.rcvIP, rec.sPort, rec.rPort)
+			ch.top.senders[rec.nicIdx].RemoveConn(rec.sPort)
+			if ch.top.steer != nil {
+				ch.top.steer.flowClosed(k)
+			}
+		}
+	}
+}
+
+// release force-tears a flow down without the handshake (backstop path).
+func (ch *churner) release(rec flowRecord) {
+	ch.top.machine.UnregisterEndpoint(rec.senderIP, rec.rcvIP, rec.sPort, rec.rPort)
+	ch.top.senders[rec.nicIdx].RemoveConn(rec.sPort)
+	if ch.top.steer != nil {
+		ch.top.steer.flowClosed(rec.key())
+	}
 }

@@ -1,0 +1,253 @@
+// Package steer implements dynamic flow steering policy for the
+// multi-queue receive pipeline: the decision half of what Linux exposes as
+// RSS indirection rewriting (`ethtool -X ... weight`) and accelerated RFS.
+//
+// Static Toeplitz steering leaves the pipeline hostage to flow skew: the
+// hash spreads *flows* evenly over buckets, but a zipf-weighted traffic
+// mix concentrates *load* on whichever CPUs happen to own the heavy
+// hitters' buckets — the RSS failure mode Wu et al. document in "A
+// Transport-Friendly NIC for Multicore/Multiprocessor Systems" (the same
+// work the multi-queue pipeline's hash design follows). Two cooperating
+// policies correct it:
+//
+//   - Rebalancer: a control loop that runs once per epoch, observes
+//     per-CPU utilization and per-bucket frame load, and plans indirection
+//     rewrites moving buckets off hot CPUs. Hysteresis (a minimum
+//     utilization spread before acting) and per-bucket move damping (a
+//     bucket must rest for several epochs after moving) keep flows from
+//     thrashing between CPUs.
+//
+//   - ARFS: per-flow exact-match steering that follows the consuming
+//     application's CPU, observed at socket-read time. A flow whose app
+//     runs on CPU c gets a NIC rule overriding the hash so its frames,
+//     softirq processing and application reads all land on c.
+//
+// This package is pure policy: it decides, the machine applies (NIC
+// indirection/rule writes, aggregation-state handoff, flow-table
+// ownership) — see internal/sim and internal/xenvirt for the mechanism,
+// and ARCHITECTURE.md ("Flow steering") for the whole picture, including
+// why migration cannot break in-order delivery.
+package steer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rss"
+)
+
+// RebalanceConfig tunes the indirection rebalancer.
+type RebalanceConfig struct {
+	// SpreadThreshold is the hysteresis band: no moves are planned while
+	// max−min per-CPU utilization stays below it.
+	SpreadThreshold float64
+	// MinMoveEpochs is the damping rest period: a bucket moved in epoch
+	// E is not eligible again before epoch E+MinMoveEpochs.
+	MinMoveEpochs int
+	// MaxMovesPerEpoch bounds the indirection rewrites of one epoch.
+	MaxMovesPerEpoch int
+}
+
+// DefaultRebalanceConfig returns the evaluated defaults: act above an
+// 8-point utilization spread, rest moved buckets for 2 epochs, rewrite at
+// most 8 entries per epoch.
+func DefaultRebalanceConfig() RebalanceConfig {
+	return RebalanceConfig{SpreadThreshold: 0.08, MinMoveEpochs: 2, MaxMovesPerEpoch: 8}
+}
+
+// Move is one planned indirection rewrite.
+type Move struct {
+	Bucket   int
+	From, To int
+}
+
+// RebalanceStats counts rebalancer activity.
+type RebalanceStats struct {
+	// Epochs counts Plan invocations; CalmEpochs those that fell inside
+	// the hysteresis band; Moves the total rewrites planned.
+	Epochs, CalmEpochs, Moves uint64
+}
+
+// Rebalancer plans indirection rewrites from per-CPU utilization and
+// per-bucket load observations. It is deterministic: same observations,
+// same plan.
+type Rebalancer struct {
+	cfg       RebalanceConfig
+	epoch     int
+	lastMoved [rss.Buckets]int // epoch of the bucket's last move
+	stats     RebalanceStats
+}
+
+// NewRebalancer creates a rebalancer; zero-value config fields take the
+// defaults.
+func NewRebalancer(cfg RebalanceConfig) (*Rebalancer, error) {
+	def := DefaultRebalanceConfig()
+	if cfg.SpreadThreshold == 0 {
+		cfg.SpreadThreshold = def.SpreadThreshold
+	}
+	if cfg.MinMoveEpochs == 0 {
+		cfg.MinMoveEpochs = def.MinMoveEpochs
+	}
+	if cfg.MaxMovesPerEpoch == 0 {
+		cfg.MaxMovesPerEpoch = def.MaxMovesPerEpoch
+	}
+	if cfg.SpreadThreshold < 0 || cfg.MinMoveEpochs < 0 || cfg.MaxMovesPerEpoch < 0 {
+		return nil, fmt.Errorf("steer: negative rebalance parameter %+v", cfg)
+	}
+	r := &Rebalancer{cfg: cfg}
+	for b := range r.lastMoved {
+		r.lastMoved[b] = -1 << 30 // every bucket starts eligible
+	}
+	return r, nil
+}
+
+// Stats returns a copy of the rebalancer counters.
+func (r *Rebalancer) Stats() RebalanceStats { return r.stats }
+
+// Plan advances one epoch and returns the indirection rewrites to apply.
+// util[c] is CPU c's busy fraction over the last epoch, load[b] the frames
+// bucket b received in it, owner[b] the current indirection entry. The
+// plan is greedy: while the estimated spread exceeds half the hysteresis
+// threshold, the heaviest eligible bucket of the currently-hottest CPU
+// moves to the currently-coldest one — but only when the move shrinks the
+// gap between the two (a bucket too heavy to help is skipped rather than
+// ping-ponged), and never more than MaxMovesPerEpoch buckets or one move
+// per bucket per MinMoveEpochs epochs.
+func (r *Rebalancer) Plan(util []float64, load []uint64, owner []int) []Move {
+	r.epoch++
+	r.stats.Epochs++
+	cpus := len(util)
+	if cpus < 2 || len(load) != len(owner) {
+		return nil
+	}
+
+	// Estimated state, updated as moves are planned: per-CPU utilization
+	// and per-CPU frame load under the plan so far.
+	estUtil := append([]float64(nil), util...)
+	cpuLoad := make([]uint64, cpus)
+	for b, q := range owner {
+		if q >= 0 && q < cpus {
+			cpuLoad[q] += load[b]
+		}
+	}
+
+	hot, cold := hottestColdest(estUtil)
+	if estUtil[hot]-estUtil[cold] < r.cfg.SpreadThreshold {
+		r.stats.CalmEpochs++
+		return nil
+	}
+
+	// Buckets eligible to leave a CPU, heaviest first (moving the heavy
+	// hitter's bucket is what actually shifts load).
+	eligible := make([]int, 0, len(owner))
+	for b := range owner {
+		if load[b] > 0 && r.epoch-r.lastMoved[b] > r.cfg.MinMoveEpochs {
+			eligible = append(eligible, b)
+		}
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if load[eligible[i]] != load[eligible[j]] {
+			return load[eligible[i]] > load[eligible[j]]
+		}
+		return eligible[i] < eligible[j] // deterministic tie-break
+	})
+
+	var moves []Move
+	for _, b := range eligible {
+		if len(moves) >= r.cfg.MaxMovesPerEpoch {
+			break
+		}
+		hot, cold = hottestColdest(estUtil)
+		gap := estUtil[hot] - estUtil[cold]
+		if gap < r.cfg.SpreadThreshold/2 {
+			break // balanced enough under the plan so far
+		}
+		from := owner[b]
+		if from != hot || cpuLoad[hot] == 0 {
+			continue
+		}
+		// The bucket's utilization share on the hot CPU, assuming the
+		// CPU's busy time splits proportionally to frame load.
+		share := estUtil[hot] * float64(load[b]) / float64(cpuLoad[hot])
+		if share >= gap {
+			continue // would overshoot: make cold hotter than hot was
+		}
+		moves = append(moves, Move{Bucket: b, From: from, To: cold})
+		owner[b] = cold
+		cpuLoad[from] -= load[b]
+		cpuLoad[cold] += load[b]
+		estUtil[from] -= share
+		estUtil[cold] += share
+		r.lastMoved[b] = r.epoch
+		r.stats.Moves++
+	}
+	return moves
+}
+
+// hottestColdest returns the indices of the max- and min-utilization CPUs.
+func hottestColdest(util []float64) (hot, cold int) {
+	for c := range util {
+		if util[c] > util[hot] {
+			hot = c
+		}
+		if util[c] < util[cold] {
+			cold = c
+		}
+	}
+	return hot, cold
+}
+
+// ARFSStats counts aRFS policy activity.
+type ARFSStats struct {
+	// Observations counts socket-read observations examined; Programs
+	// the steering decisions issued (first-time and re-steers);
+	// Forgotten the flows dropped from tracking.
+	Observations, Programs, Forgotten uint64
+}
+
+// ARFS is the accelerated-RFS policy: it tracks, per flow, the CPU the
+// consuming application was last observed on, and decides when a steering
+// rule must be (re)programmed. K is the flow-key type of the caller's
+// stack (the policy never inspects it).
+type ARFS[K comparable] struct {
+	desired map[K]int
+	stats   ARFSStats
+}
+
+// NewARFS creates an empty policy.
+func NewARFS[K comparable]() *ARFS[K] {
+	return &ARFS[K]{desired: make(map[K]int)}
+}
+
+// Stats returns a copy of the policy counters.
+func (a *ARFS[K]) Stats() ARFSStats { return a.stats }
+
+// Flows returns the number of flows currently tracked.
+func (a *ARFS[K]) Flows() int { return len(a.desired) }
+
+// Observe consumes one socket-read observation: flow k's application ran
+// on appCPU. It reports whether a steering rule must be programmed —
+// true exactly when appCPU is a real CPU and differs from what the policy
+// last programmed for k (so a settled flow costs one map lookup per
+// observation and no rule churn).
+func (a *ARFS[K]) Observe(k K, appCPU int) bool {
+	a.stats.Observations++
+	if appCPU < 0 {
+		return false
+	}
+	if cur, ok := a.desired[k]; ok && cur == appCPU {
+		return false
+	}
+	a.desired[k] = appCPU
+	a.stats.Programs++
+	return true
+}
+
+// Forget drops k from tracking (flow teardown or rule eviction): the next
+// observation will program afresh.
+func (a *ARFS[K]) Forget(k K) {
+	if _, ok := a.desired[k]; ok {
+		delete(a.desired, k)
+		a.stats.Forgotten++
+	}
+}

@@ -106,6 +106,8 @@ type Stats struct {
 	FastRetransmits   uint64
 	RTOs              uint64
 	DelAckTimerFires  uint64
+	FinsOut           uint64 // FIN transmissions (including retransmits)
+	FinsIn            uint64 // FIN-flagged segments processed
 }
 
 type oooSegment struct {
@@ -116,6 +118,18 @@ type oooSegment struct {
 type sentSegment struct {
 	seq    uint32
 	length int
+	fin    bool // the segment carries FIN (consumes one sequence number)
+}
+
+// seqLen returns the sequence-number space the segment occupies: its
+// payload plus one for FIN (RFC 793 §3.3).
+func (s sentSegment) seqLen() uint32 { return uint32(s.length) + boolToSeq(s.fin) }
+
+func boolToSeq(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Endpoint is one side of an established TCP connection.
@@ -161,6 +175,17 @@ type Endpoint struct {
 	appLimited     uint64 // bytes the app wants to send; ^uint64(0) = unlimited
 	ipID           uint16
 
+	// Teardown state (FIN handshake, churn workloads).
+	closeReq bool   // application requested close (AppClose)
+	finSent  bool   // our FIN has been transmitted at least once
+	finAcked bool   // the peer acknowledged our FIN
+	finSeq   uint32 // sequence number the FIN consumed
+
+	// appCPU is the CPU the consuming application runs on (-1 =
+	// unpinned): the observation accelerated RFS steers by. In the
+	// simulation it models the scheduler's placement of the app thread.
+	appCPU int
+
 	stats Stats
 }
 
@@ -202,6 +227,7 @@ func New(cfg Config, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, cloc
 		ssthresh:  1 << 30,
 		sndWnd:    cfg.RcvWnd,
 		rcvMSSEst: cfg.MSS,
+		appCPU:    -1,
 	}
 	return e, nil
 }
@@ -223,6 +249,18 @@ func (e *Endpoint) Cwnd() int { return e.cwnd }
 
 // Closed reports whether the peer's FIN has been processed.
 func (e *Endpoint) Closed() bool { return e.finSeen }
+
+// FinAcked reports whether our own FIN has been acknowledged (the sender
+// half of teardown is complete).
+func (e *Endpoint) FinAcked() bool { return e.finAcked }
+
+// SetAppCPU records the CPU the consuming application runs on (-1 =
+// unpinned). The netstack reports it at socket-read time so an aRFS
+// policy can steer the flow to follow the application.
+func (e *Endpoint) SetAppCPU(cpu int) { e.appCPU = cpu }
+
+// AppCPU returns the application's CPU (-1 = unpinned).
+func (e *Endpoint) AppCPU() int { return e.appCPU }
 
 // tsNow returns the TCP timestamp clock value: milliseconds of virtual
 // time, the 1000 Hz granularity of the paper's §3.6 argument.
@@ -277,10 +315,16 @@ func (e *Endpoint) Input(seg Segment) {
 	}
 
 	if hdr.Flags&tcpwire.FlagFIN != 0 {
+		e.stats.FinsIn++
 		finSeq := hdr.Seq + uint32(total)
-		if finSeq == e.rcvNxt {
+		switch {
+		case finSeq == e.rcvNxt:
 			e.rcvNxt++
 			e.finSeen = true
+			e.queueAck(e.rcvNxt)
+		case seqLT(finSeq, e.rcvNxt):
+			// Retransmitted FIN (our final ACK was lost): re-ACK so the
+			// peer's teardown completes instead of retransmitting forever.
 			e.queueAck(e.rcvNxt)
 		}
 	}

@@ -19,10 +19,22 @@ import (
 func (e *Endpoint) SetAppLimit(n uint64) { e.appLimited = n }
 
 // AppClose ends the application stream: no bytes beyond those already
-// handed to TCP will be offered. Data in flight still retransmits to
-// completion, so the connection drains cleanly (the teardown half of
-// connection churn workloads).
-func (e *Endpoint) AppClose() { e.appLimited = uint64(e.sndNxt - e.cfg.ISS) }
+// handed to TCP will be offered, and once the in-flight data has been
+// handed off a FIN follows — consuming one sequence number, retransmitted
+// on loss like data, and completing teardown when the peer's final ACK
+// covers it (the teardown half of connection churn workloads).
+func (e *Endpoint) AppClose() {
+	e.appLimited = uint64(e.sndNxt - e.cfg.ISS)
+	e.closeReq = true
+}
+
+// finPending reports whether the next transmission should be our FIN: the
+// application closed, every byte it offered has been handed to TCP, and
+// the FIN has not been sent yet.
+func (e *Endpoint) finPending() bool {
+	return e.closeReq && !e.finSent &&
+		e.appLimited != ^uint64(0) && uint64(e.sndNxt-e.cfg.ISS) >= e.appLimited
+}
 
 // AppWrite makes n more bytes available for sending (request/response
 // workloads write incrementally; a fresh endpoint has nothing to send).
@@ -46,6 +58,9 @@ func (e *Endpoint) processAck(ackNum uint32) {
 		newly := ackNum - e.sndUna
 		e.sndUna = ackNum
 		e.popRtx(ackNum)
+		if e.finSent && !e.finAcked && seqGEQ(ackNum, e.finSeq+1) {
+			e.finAcked = true
+		}
 		if e.inFastRec {
 			if seqGEQ(ackNum, e.recover) {
 				// Full recovery: deflate to ssthresh.
@@ -115,8 +130,9 @@ func (e *Endpoint) SendWindowAvail() int {
 	return avail
 }
 
-// HasDataToSend reports whether the window admits at least one byte.
-func (e *Endpoint) HasDataToSend() bool { return e.SendWindowAvail() > 0 }
+// HasDataToSend reports whether the window admits at least one byte (or a
+// pending FIN awaits transmission).
+func (e *Endpoint) HasDataToSend() bool { return e.SendWindowAvail() > 0 || e.finPending() }
 
 // NextDataFrame builds the next data frame the window permits, up to
 // maxPayload bytes (0 means one MSS), returning nil when the window is
@@ -125,6 +141,9 @@ func (e *Endpoint) HasDataToSend() bool { return e.SendWindowAvail() > 0 }
 func (e *Endpoint) NextDataFrame(maxPayload int) []byte {
 	avail := e.SendWindowAvail()
 	if avail <= 0 {
+		if e.finPending() {
+			return e.buildFinFrame()
+		}
 		return nil
 	}
 	size := e.cfg.MSS
@@ -162,6 +181,33 @@ func (e *Endpoint) NextDataFrame(maxPayload int) []byte {
 	return frame
 }
 
+// buildFinFrame emits our FIN: an empty FIN|ACK segment consuming one
+// sequence number, tracked for retransmission like data.
+func (e *Endpoint) buildFinFrame() []byte {
+	e.ipID++
+	frame := packet.MustBuild(packet.TCPSpec{
+		SrcMAC: e.cfg.LocalMAC, DstMAC: e.cfg.RemoteMAC,
+		SrcIP: e.cfg.LocalIP, DstIP: e.cfg.RemoteIP,
+		SrcPort: e.cfg.LocalPort, DstPort: e.cfg.RemotePort,
+		Seq: e.sndNxt, Ack: e.rcvNxt,
+		Flags:  tcpwire.FlagACK | tcpwire.FlagFIN,
+		Window: e.advertisedWindow(),
+		HasTS:  e.cfg.UseTimestamps, TSVal: e.tsNow(), TSEcr: e.tsRecent,
+		IPID: e.ipID,
+	})
+	e.rtx = append(e.rtx, sentSegment{seq: e.sndNxt, fin: true})
+	e.finSeq = e.sndNxt
+	e.finSent = true
+	e.sndNxt++
+	e.stats.SegsOut++
+	e.stats.FinsOut++
+	e.ackPending = false
+	e.delackSegs = 0
+	e.delackArm = 0
+	e.armRTO()
+	return frame
+}
+
 // SendDataSKB builds the next permitted data frame and wraps it in an SKB
 // for in-stack transmission (used by the request/response workload where
 // both sides live inside simulated machines).
@@ -175,32 +221,41 @@ func (e *Endpoint) SendDataSKB(maxPayload int) bool {
 	return true
 }
 
-// popRtx discards retransmit entries fully covered by ackNum.
+// popRtx discards retransmit entries fully covered by ackNum (payload
+// bytes plus the FIN's sequence number).
 func (e *Endpoint) popRtx(ackNum uint32) {
 	i := 0
 	for ; i < len(e.rtx); i++ {
-		if seqGT(e.rtx[i].seq+uint32(e.rtx[i].length), ackNum) {
+		if seqGT(e.rtx[i].seq+e.rtx[i].seqLen(), ackNum) {
 			break
 		}
 	}
 	e.rtx = e.rtx[i:]
 }
 
-// retransmitOne rebuilds and resends the earliest unacknowledged segment.
+// retransmitOne rebuilds and resends the earliest unacknowledged segment
+// (a data segment from the application source, or our FIN).
 func (e *Endpoint) retransmitOne() {
 	if len(e.rtx) == 0 {
 		return
 	}
 	s := e.rtx[0]
-	payload := make([]byte, s.length)
-	e.cfg.Source(s.seq, payload)
+	flags := tcpwire.FlagACK | tcpwire.FlagPSH
+	var payload []byte
+	if s.fin {
+		flags = tcpwire.FlagACK | tcpwire.FlagFIN
+		e.stats.FinsOut++
+	} else {
+		payload = make([]byte, s.length)
+		e.cfg.Source(s.seq, payload)
+	}
 	e.ipID++
 	frame := packet.MustBuild(packet.TCPSpec{
 		SrcMAC: e.cfg.LocalMAC, DstMAC: e.cfg.RemoteMAC,
 		SrcIP: e.cfg.LocalIP, DstIP: e.cfg.RemoteIP,
 		SrcPort: e.cfg.LocalPort, DstPort: e.cfg.RemotePort,
 		Seq: s.seq, Ack: e.rcvNxt,
-		Flags:  tcpwire.FlagACK | tcpwire.FlagPSH,
+		Flags:  flags,
 		Window: e.advertisedWindow(),
 		HasTS:  e.cfg.UseTimestamps, TSVal: e.tsNow(), TSEcr: e.tsRecent,
 		IPID:    e.ipID,

@@ -53,16 +53,19 @@ package xenvirt
 import (
 	"fmt"
 
+	"repro/internal/aggregate"
 	"repro/internal/buf"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cycles"
 	"repro/internal/driver"
+	"repro/internal/ipv4"
 	"repro/internal/netstack"
 	"repro/internal/nic"
 	"repro/internal/rss"
 	"repro/internal/softirq"
 	"repro/internal/tcp"
+	"repro/internal/tcpwire"
 )
 
 // Mode selects the receive-path configuration.
@@ -82,16 +85,26 @@ type Config struct {
 	Params cost.Params
 	// NICCount is the number of physical NICs in the driver domain.
 	NICCount int
-	// Queues is the number of RSS queues per NIC and of paravirtual I/O
-	// channels (= guest vCPUs on the receive path). 0 or 1 is the
-	// paper's single-softirq, single-event-channel machine, bit for bit.
+	// Queues is the number of RSS queues per NIC (dom0 driver/softirq
+	// contexts). 0 or 1 is the paper's single-softirq,
+	// single-event-channel machine, bit for bit.
 	Queues int
+	// GuestVCPUs is the number of paravirtual I/O channels (= guest
+	// vCPUs on the receive path). 0 = Queues, the symmetric pinned
+	// topology; a different value models the asymmetric deployment where
+	// the driver domain's queue count and the guest's vCPU count differ
+	// — netback then re-steers bridged packets across the I/O channels,
+	// exercising the cross-vCPU event path.
+	GuestVCPUs int
 	// Mode selects baseline or optimized.
 	Mode Mode
 	// Aggregation configures the dom0 aggregation engine (optimized).
 	Aggregation core.Options
 	// Clock supplies virtual time.
 	Clock tcp.Clock
+	// FlowRuleSlots sizes each NIC's exact-match steering-rule table
+	// (0 = no aRFS filters).
+	FlowRuleSlots int
 }
 
 // Stats aggregates machine-level counters.
@@ -145,10 +158,11 @@ type Machine struct {
 	GuestStack *netstack.Stack
 
 	cfg     Config
-	queues  int
+	queues  int // dom0 RSS queues per NIC
+	vcpus   int // guest vCPUs = I/O channels
 	nics    []*nic.NIC
 	drvs    [][]*driver.Driver  // [nic][queue]
-	rps     []*core.ReceivePath // [vcpu]; nil slice in baseline mode
+	rps     []*core.ReceivePath // [queue]; nil slice in baseline mode
 	chans   []*ioChannel        // [vcpu]
 	eps     []*tcp.Endpoint
 	polling [][]bool // dom0 NAPI poll lists: [nic][queue]
@@ -156,6 +170,16 @@ type Machine struct {
 	kick    func(cpu int)
 	curCPU  int // vCPU of the softirq round in progress (-1 outside)
 	stats   Stats
+
+	// nicMap steers buckets onto dom0 NIC queues; chanMap steers them
+	// onto I/O channels (guest vCPUs). Symmetric topologies keep the two
+	// in lockstep; shard ownership (and hence steal accounting) follows
+	// chanMap, because the guest stack runs on the channel's vCPU.
+	nicMap  *rss.Map
+	chanMap *rss.Map
+	// chanRules are netback's per-flow aRFS overrides, mirroring the NIC
+	// rule table but resolving to a channel instead of a queue.
+	chanRules map[nic.FlowTuple]int
 }
 
 // New assembles a Xen machine.
@@ -175,20 +199,37 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Queues < 0 || cfg.Queues > rss.Buckets {
 		return nil, fmt.Errorf("xenvirt: Queues %d must be in [1, %d]", cfg.Queues, rss.Buckets)
 	}
+	if cfg.GuestVCPUs == 0 {
+		cfg.GuestVCPUs = cfg.Queues
+	}
+	if cfg.GuestVCPUs < 0 || cfg.GuestVCPUs > rss.Buckets {
+		return nil, fmt.Errorf("xenvirt: GuestVCPUs %d must be in [1, %d]", cfg.GuestVCPUs, rss.Buckets)
+	}
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("xenvirt: Clock must be set")
 	}
-	m := &Machine{cfg: cfg, queues: cfg.Queues, Params: cfg.Params, curCPU: -1}
+	m := &Machine{cfg: cfg, queues: cfg.Queues, vcpus: cfg.GuestVCPUs, Params: cfg.Params, curCPU: -1}
 	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
 	m.GuestStack = netstack.New(&m.Meter, &m.Params, m.Alloc)
 	m.GuestStack.Tx = txChain{m}
-	m.GuestStack.SetQueues(m.queues)
+	m.GuestStack.SetQueues(m.vcpus)
+	nm, err := rss.NewMap(m.queues)
+	if err != nil {
+		return nil, fmt.Errorf("xenvirt: %w", err)
+	}
+	cm, err := rss.NewMap(m.vcpus)
+	if err != nil {
+		return nil, fmt.Errorf("xenvirt: %w", err)
+	}
+	m.nicMap, m.chanMap = nm, cm
+	m.chanRules = make(map[nic.FlowTuple]int)
+	m.GuestStack.FlowTable().SetOwnerMap(m.chanMap)
 
 	// Per-vCPU I/O channels: netfront ring + softirq consumer. The
 	// handler charges netfront's per-packet and per-fragment costs and
 	// feeds the guest stack's sharded flow table, attributing the
 	// delivery to this vCPU.
-	for q := 0; q < m.queues; q++ {
+	for q := 0; q < m.vcpus; q++ {
 		ctx, err := softirq.NewContext[*buf.SKB](q, netfrontRingSlots)
 		if err != nil {
 			return nil, fmt.Errorf("xenvirt: %w", err)
@@ -223,6 +264,8 @@ func New(cfg Config) (*Machine, error) {
 	for i := 0; i < cfg.NICCount; i++ {
 		ncfg := nic.DefaultConfig(fmt.Sprintf("eth%d", i))
 		ncfg.RxQueues = m.queues
+		ncfg.Indir = m.nicMap
+		ncfg.FlowRuleSlots = cfg.FlowRuleSlots
 		ncfg.IntThrottleFrames = 16 // e1000-style interrupt throttling; the
 		// link flushes the line when the wire goes idle, so latency
 		// workloads are not delayed (§5.4)
@@ -252,9 +295,21 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// CPUs returns the softirq CPU count: one per RSS queue / I/O channel /
-// guest vCPU.
-func (m *Machine) CPUs() int { return m.queues }
+// CPUs returns the softirq CPU count. Symmetric topologies have one CPU
+// per queue = channel = vCPU; asymmetric ones size the set to cover both
+// the dom0 queues and the guest vCPUs (each core still runs its dom0
+// queue q < Queues and/or its guest vCPU q < GuestVCPUs).
+func (m *Machine) CPUs() int {
+	if m.vcpus > m.queues {
+		return m.vcpus
+	}
+	return m.queues
+}
+
+// Queues returns the dom0 RSS queue count; GuestVCPUs the I/O channel
+// count.
+func (m *Machine) Queues() int     { return m.queues }
+func (m *Machine) GuestVCPUs() int { return m.vcpus }
 
 // WireInterrupts routes every NIC queue's interrupt onto the dom0 NAPI
 // poll list and then to the owning CPU's scheduler slot (see sim.Machine).
@@ -299,6 +354,114 @@ func (m *Machine) ReceivePaths() []*core.ReceivePath { return m.rps }
 // FlowTable exposes the guest stack's sharded demux table.
 func (m *Machine) FlowTable() *netstack.FlowTable { return m.GuestStack.FlowTable() }
 
+// Netstack exposes the guest stack.
+func (m *Machine) Netstack() *netstack.Stack { return m.GuestStack }
+
+// SteerMap returns the channel map — the bucket→vCPU steering that
+// defines guest shard ownership.
+func (m *Machine) SteerMap() *rss.Map { return m.chanMap }
+
+// SteerTargets: steering places consumers, and consumers are guest
+// vCPUs; dom0-only cores (queues beyond the vCPU count on an asymmetric
+// machine) own no channel and cannot be steering targets.
+func (m *Machine) SteerTargets() int { return m.vcpus }
+
+// SteerBucket repoints bucket b to guest vCPU cpu. The dom0 aggregation
+// engine of the bucket's old NIC queue is drained first (no aggregate may
+// span the boundary), then both indirections move: the NIC steers the
+// bucket to queue cpu mod Queues (keeping dom0 work co-located with the
+// vCPU where the topology allows) and netback steers it to channel cpu.
+// Frames already in the old queue's rings are re-steered by netback onto
+// the *new* channel when dom0 polls them — the cross-vCPU event path —
+// so the guest never sees a stale delivery.
+func (m *Machine) SteerBucket(b, cpu int) {
+	old := m.chanMap.Entry(b)
+	if old == cpu {
+		return
+	}
+	oldQ := m.nicMap.Entry(b)
+	newQ := cpu % m.queues
+	if m.rps != nil && oldQ != newQ {
+		m.rps[oldQ].FlushWhere(func(k aggregate.FlowKey) bool {
+			return rss.Bucket(rss.HashTCP4(k.Src, k.Dst, k.SrcPort, k.DstPort)) == b
+		})
+	}
+	m.nicMap.Set(b, newQ)
+	m.chanMap.Set(b, cpu)
+	m.flushCoalescing()
+}
+
+// flushCoalescing fires coalesced-but-unraised NIC interrupts after a
+// steering rewrite: a rewrite cuts a queue's arrival stream mid-batch,
+// and with the wire still busy a stranded sub-threshold batch would
+// otherwise wait forever (the coalescing/migration hazard Wu et al.
+// document). Real drivers kick the queue when touching steering state.
+func (m *Machine) flushCoalescing() {
+	for _, n := range m.nics {
+		n.FlushInterrupt()
+	}
+}
+
+// SteerFlow programs an aRFS rule steering flow k onto guest vCPU cpu:
+// dom0 pending aggregation state for the flow is drained, the NIC rule
+// steers its frames to queue cpu mod Queues, and netback's rule overrides
+// the channel choice so the flow lands on vCPU cpu. The guest flow
+// table's ownership override follows. An evicted victim is returned for
+// the policy to forget.
+func (m *Machine) SteerFlow(k netstack.FlowKey, hash uint32, cpu int) (*netstack.FlowKey, error) {
+	table := m.GuestStack.FlowTable()
+	if table.OwnerOf(k, hash) == cpu {
+		return nil, nil
+	}
+	core.FlushFlow(m.rps, k.Src, k.Dst, k.SrcPort, k.DstPort)
+	t := nic.FlowTuple{Src: k.Src, Dst: k.Dst, SrcPort: k.SrcPort, DstPort: k.DstPort}
+	victim, err := m.nics[m.nicOf(k)].ProgramFlowRule(t, cpu%m.queues)
+	if err != nil {
+		return nil, err
+	}
+	m.chanRules[t] = cpu
+	table.SetFlowOwner(k, cpu)
+	m.flushCoalescing()
+	if victim == nil {
+		return nil, nil
+	}
+	// The evicted victim reverts to its bucket's indirection: same
+	// handoff as any re-steer — drop the overrides, drain its pending
+	// dom0 state.
+	delete(m.chanRules, *victim)
+	vk := netstack.FlowKey{Src: victim.Src, Dst: victim.Dst, SrcPort: victim.SrcPort, DstPort: victim.DstPort}
+	table.ClearFlowOwner(vk)
+	core.FlushFlow(m.rps, vk.Src, vk.Dst, vk.SrcPort, vk.DstPort)
+	return &vk, nil
+}
+
+// nicOf maps a flow to the NIC carrying its sender subnet (10.0.<n>.x).
+func (m *Machine) nicOf(k netstack.FlowKey) int {
+	if n := int(k.Src[2]); n < len(m.nics) {
+		return n
+	}
+	return 0
+}
+
+// flowTupleOf extracts the four-tuple from a bridged host packet's
+// headers (netback's rule lookup); ok is false for non-TCP traffic.
+func flowTupleOf(skb *buf.SKB) (nic.FlowTuple, bool) {
+	l3 := skb.L3()
+	ih, err := ipv4.ParseHeaderOnly(l3)
+	if err != nil || ih.Proto != ipv4.ProtoTCP {
+		return nic.FlowTuple{}, false
+	}
+	segEnd := ih.TotalLen
+	if segEnd > len(l3) {
+		segEnd = len(l3)
+	}
+	th, err := tcpwire.Parse(l3[ih.IHL:segEnd])
+	if err != nil {
+		return nic.FlowTuple{}, false
+	}
+	return nic.FlowTuple{Src: ih.Src, Dst: ih.Dst, SrcPort: th.SrcPort, DstPort: th.DstPort}, true
+}
+
 // ProcessRound runs one softirq round on the given vCPU: pending netfront
 // work delivered by other vCPUs' netback, dom0 driver polls of this CPU's
 // queue on every NIC, dom0 aggregation, the bridge/netback/netfront
@@ -311,27 +474,32 @@ func (m *Machine) ProcessRound(cpu, budget int) (int, bool) {
 	defer func() { m.curCPU = prev }()
 
 	// Event-channel work first: packets other vCPUs' netback queued on
-	// this vCPU's netfront ring since its last round.
-	m.chans[cpu].ctx.Run(1 << 30)
+	// this vCPU's netfront ring since its last round. (On an asymmetric
+	// topology a core beyond the guest's vCPU count runs dom0 work only.)
+	if cpu < m.vcpus {
+		m.chans[cpu].ctx.Run(1 << 30)
+	}
 
 	frames := 0
 	more := false
-	for i := range m.drvs {
-		// Unwired machines (directly driven tests) poll every queue;
-		// wired machines follow the NAPI poll lists.
-		if m.wired && !m.polling[i][cpu] {
-			continue
+	if cpu < m.queues {
+		for i := range m.drvs {
+			// Unwired machines (directly driven tests) poll every queue;
+			// wired machines follow the NAPI poll lists.
+			if m.wired && !m.polling[i][cpu] {
+				continue
+			}
+			n := m.drvs[i][cpu].Poll(budget)
+			frames += n
+			if n == budget {
+				more = true
+			} else {
+				m.polling[i][cpu] = false
+			}
 		}
-		n := m.drvs[i][cpu].Poll(budget)
-		frames += n
-		if n == budget {
-			more = true
-		} else {
-			m.polling[i][cpu] = false
+		if m.rps != nil {
+			m.rps[cpu].Process(1 << 30)
 		}
-	}
-	if m.rps != nil {
-		m.rps[cpu].Process(1 << 30)
 	}
 	if frames > 0 {
 		m.stats.FramesIn += uint64(frames)
@@ -359,11 +527,22 @@ func (m *Machine) bridgeReceive(skb *buf.SKB) {
 	// Netback: per host packet plus per fragment (§5.1).
 	m.Meter.Charge(cycles.Netback,
 		m.Params.NetbackPerPacket+uint64(frags)*m.Params.NetbackPerFrag)
-	// Netback steering: channel = f(Toeplitz hash), identical to the
-	// NIC's queue choice, so flow affinity spans the driver domain.
+	// Netback steering: an aRFS rule wins, else channel = live
+	// indirection of the Toeplitz hash — in lockstep with the NIC's
+	// queue choice on symmetric topologies, re-steered across the I/O
+	// channels on asymmetric ones or after a rebalance, so flow affinity
+	// spans the driver domain under dynamic steering too.
 	c := 0
-	if m.queues > 1 && skb.RSSHash != 0 {
-		c = rss.QueueOf(skb.RSSHash, m.queues)
+	steered := false
+	if len(m.chanRules) > 0 {
+		if t, ok := flowTupleOf(skb); ok {
+			if ch, hit := m.chanRules[t]; hit {
+				c, steered = ch, true
+			}
+		}
+	}
+	if !steered && m.vcpus > 1 && skb.RSSHash != 0 {
+		c = m.chanMap.Queue(skb.RSSHash)
 	}
 	ch := m.chans[c]
 
@@ -513,9 +692,15 @@ func (m *Machine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, 
 }
 
 // UnregisterEndpoint removes a guest endpoint from the demux table
-// (connection teardown); it stays on the timer/accounting list.
+// (connection teardown), dropping any steering rules programmed for it;
+// it stays on the timer/accounting list.
 func (m *Machine) UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16) {
 	m.GuestStack.Unregister(remoteIP, localIP, remotePort, localPort)
+	t := nic.FlowTuple{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
+	if _, ok := m.chanRules[t]; ok {
+		delete(m.chanRules, t)
+		m.nics[m.nicOf(netstack.FlowKey(t))].RemoveFlowRule(t)
+	}
 }
 
 // Endpoints returns the guest endpoints in registration order.

@@ -85,6 +85,12 @@ type (
 	// ShardStats is one flow-table shard's demux counters (flows, demux
 	// hits, steals), reported per shard in StreamResult.ShardStats.
 	ShardStats = netstack.ShardStats
+	// SteerConfig holds the dynamic-flow-steering knobs of a stream run
+	// (indirection rebalancing, accelerated RFS).
+	SteerConfig = sim.SteerConfig
+	// SteerReport summarizes a run's steering activity (indirection
+	// moves, rule-table occupancy, app migrations).
+	SteerReport = sim.SteerReport
 )
 
 // ParseSystem maps a CLI system name to its SystemKind: "up" (alias
