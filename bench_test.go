@@ -368,6 +368,33 @@ func BenchmarkSteer_DynamicSteering(b *testing.B) {
 	}
 }
 
+// BenchmarkReorder_WindowSweep measures reordering tolerance: the
+// 200-flow zipf workload under 2% adjacent-swap reorder, with the
+// resequencing window off (strict flush-on-OOO) and on. The window must
+// recover the aggregation factor (and with it bytes/aggregate) that the
+// reorder otherwise destroys.
+func BenchmarkReorder_WindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, win := range []int{0, 4} {
+			cfg := DefaultStreamConfig(SystemNativeUP, OptFull)
+			cfg.NICs = 8
+			cfg.Connections = 200
+			cfg.Queues = 4
+			cfg.FlowSkew = 1.1
+			cfg.Reorder = ReorderConfig{OneIn: 50, Distance: 1}
+			cfg.ReorderWindow = win
+			res := benchStream(b, cfg)
+			b.ReportMetric(res.ThroughputMbps, fmt.Sprintf("Mbps_w%d", win))
+			b.ReportMetric(res.AggFactor, fmt.Sprintf("agg_w%d", win))
+			if i == 0 {
+				fmt.Printf("2%% swaps, window %d: %.0f Mb/s, agg %.2f, %d mismatch flushes, %d stitched, %d OOO segs\n",
+					win, res.ThroughputMbps, res.AggFactor,
+					res.AggStats.FlushMismatch, res.AggStats.Stitched, res.OOOSegs)
+			}
+		}
+	}
+}
+
 // BenchmarkAblation_AggLimitOne checks §5.5: an Aggregation Limit of 1
 // (the engine on the path but never coalescing) must not degrade
 // performance relative to the baseline.

@@ -30,6 +30,13 @@ var (
 	steer    = flag.Bool("steer", false,
 		"enable dynamic flow steering (rebalancer + aRFS) and print the final indirection table and steering-rule occupancy")
 	skew = flag.Float64("skew", 0, "zipf rate-skew exponent for the flow population (0 = uniform)")
+	agg  = flag.Bool("agg", false,
+		"print the per-engine aggregation breakdown: flush-reason taxonomy and resequencing-window counters")
+	window = flag.Int("window", 0,
+		"per-flow resequencing window of the aggregation engines, in frames (0 = strict in-sequence)")
+	reorderOneIn = flag.Int("reorder", 0,
+		"displace every Nth forward frame on each link (the reorder fault injector; 0 = off)")
+	reorderDist = flag.Int("reorder-distance", 1, "reorder displacement distance in frames (1 = adjacent swap)")
 )
 
 func main() {
@@ -54,6 +61,8 @@ func main() {
 	cfg.AggLimit = *limit
 	cfg.FlowSkew = *skew
 	cfg.DurationNs = uint64(duration.Nanoseconds())
+	cfg.ReorderWindow = *window
+	cfg.Reorder = repro.ReorderConfig{OneIn: *reorderOneIn, Distance: *reorderDist}
 	if *steer {
 		cfg.Steering = repro.SteerConfig{Enabled: true, ARFS: true}
 	}
@@ -77,6 +86,37 @@ func main() {
 		fmt.Println()
 		printSteer(res)
 	}
+	if *agg {
+		fmt.Println()
+		printAggEngines(res)
+	}
+}
+
+// printAggEngines renders each aggregation engine's flush-reason
+// taxonomy and resequencing-window activity — how aggregates end (the
+// Limit, a §3.1 mismatch, idle/evict/steer flushes, window overflow) and
+// how the window behaved (held/stitched/drained), per CPU and in total.
+func printAggEngines(res repro.StreamResult) {
+	if len(res.EngineAgg) == 0 {
+		fmt.Println("aggregation engines: none (baseline path)")
+		return
+	}
+	fmt.Println("aggregation engines (flush reasons and resequencing window):")
+	fmt.Printf("%-6s %9s %8s %8s %7s %7s %7s %7s %7s %7s %6s %8s %8s\n",
+		"cpu", "frames", "host", "coalesc",
+		"limit", "mism", "idle", "evict", "steer", "ovflw",
+		"held", "stitched", "drained")
+	row := func(name string, s repro.AggStats) {
+		fmt.Printf("%-6s %9d %8d %8d %7d %7d %7d %7d %7d %7d %6d %8d %8d\n",
+			name, s.FramesIn, s.HostOut, s.Coalesced,
+			s.FlushLimit, s.FlushMismatch, s.FlushIdle, s.FlushEvict,
+			s.FlushSteer, s.FlushWindowOverflow,
+			s.Held, s.Stitched, s.WindowTimeout)
+	}
+	for cpu, s := range res.EngineAgg {
+		row(fmt.Sprintf("%d", cpu), s)
+	}
+	row("total", res.AggStats)
 }
 
 // printSteer renders the run's steering state: policy activity, rule-table

@@ -17,6 +17,17 @@
 // never aggregated), and either no TCP options or exactly the timestamp
 // option. Within a flow, frames must be in sequence by both sequence number
 // and acknowledgment number.
+//
+// Beyond the paper, the engine optionally tolerates the frame reordering
+// that interrupt coalescing plus multi-queue steering produces (adjacent
+// swaps and small displacements — Wu et al., "Sorting Reordered Packets
+// with Interrupt Coalescing"): with Config.ReorderWindow > 0, a same-flow
+// frame arriving ahead of the expected sequence number is parked in a
+// small per-flow hold buffer and stitched into the aggregate in sequence
+// order once the gap fills, instead of tearing the aggregate down. Every
+// flush path drains the window in sequence order, so the byte-exact
+// in-order delivery guarantee is unchanged, and with the window disabled
+// the engine is bit-identical to the paper's strict in-sequence scheme.
 package aggregate
 
 import (
@@ -54,9 +65,30 @@ type Config struct {
 	// (§3.5 describes it as small). When full, the oldest pending
 	// aggregate is flushed to make room.
 	TableSize int
+	// ReorderWindow is the per-flow resequencing window: the maximum
+	// number of ahead-of-sequence frames held per pending aggregate.
+	// Interrupt coalescing plus multi-queue steering reorders
+	// near-simultaneous frames (adjacent swaps, small displacements —
+	// Wu et al.); instead of tearing the aggregate down on every
+	// out-of-sequence frame, a frame arriving ahead of the expected
+	// sequence number (and still satisfying the §3.1 flow rules) is held
+	// and stitched in once the gap fills, preserving byte-exact in-order
+	// delivery. 0 disables the window: every out-of-sequence frame
+	// flushes, bit-identical to the original engine.
+	ReorderWindow int
+	// ReorderWindowBytes bounds the sequence span (gap plus held
+	// payload) the window may cover; frames further ahead flush the
+	// aggregate as a window overflow. 0 defaults to 64 KiB when the
+	// window is enabled.
+	ReorderWindowBytes int
 }
 
-// DefaultConfig uses the paper's chosen Aggregation Limit of 20.
+// DefaultReorderWindowBytes is the default sequence-span bound of the
+// resequencing window (the classic maximum TCP window).
+const DefaultReorderWindowBytes = 64 * 1024
+
+// DefaultConfig uses the paper's chosen Aggregation Limit of 20 with the
+// resequencing window disabled (the paper's strict in-sequence engine).
 func DefaultConfig() Config {
 	return Config{Limit: 20, TableSize: 256}
 }
@@ -72,12 +104,53 @@ type Stats struct {
 	FlushIdle     uint64 // closed by FlushAll (queue went empty)
 	FlushEvict    uint64 // closed by table eviction
 	FlushSteer    uint64 // closed by FlushWhere (migration handoff)
+	// FlushWindowOverflow counts aggregates closed because an
+	// ahead-of-sequence frame could not be held (window slots exhausted,
+	// sequence span beyond ReorderWindowBytes, or overlap with an
+	// already-held frame).
+	FlushWindowOverflow uint64
+
+	// Resequencing-window activity. Held counts frames that entered the
+	// hold buffer; Stitched those that later joined an aggregate when
+	// the gap filled; WindowTimeout those drained undelivered-gap (idle
+	// flush, eviction, migration handoff, or a mismatch flush) and
+	// delivered as ordinary host packets. Held = Stitched + WindowTimeout
+	// + currently-held at all times.
+	Held, Stitched, WindowTimeout uint64
 
 	// Pass-through reasons (§3.1 rule failures).
 	RejNonIP, RejBadIPCsum, RejNoCsumOffload uint64
 	RejIPOptions, RejFragment, RejNotTCP     uint64
 	RejFlags, RejOtherOptions, RejZeroLen    uint64
 	RejMalformed                             uint64
+}
+
+// Add returns the field-wise sum of two stat snapshots (used to combine
+// the per-CPU engines of a multi-queue pipeline into one report).
+func (s Stats) Add(o Stats) Stats {
+	s.FramesIn += o.FramesIn
+	s.HostOut += o.HostOut
+	s.Coalesced += o.Coalesced
+	s.FlushLimit += o.FlushLimit
+	s.FlushMismatch += o.FlushMismatch
+	s.FlushIdle += o.FlushIdle
+	s.FlushEvict += o.FlushEvict
+	s.FlushSteer += o.FlushSteer
+	s.FlushWindowOverflow += o.FlushWindowOverflow
+	s.Held += o.Held
+	s.Stitched += o.Stitched
+	s.WindowTimeout += o.WindowTimeout
+	s.RejNonIP += o.RejNonIP
+	s.RejBadIPCsum += o.RejBadIPCsum
+	s.RejNoCsumOffload += o.RejNoCsumOffload
+	s.RejIPOptions += o.RejIPOptions
+	s.RejFragment += o.RejFragment
+	s.RejNotTCP += o.RejNotTCP
+	s.RejFlags += o.RejFlags
+	s.RejOtherOptions += o.RejOtherOptions
+	s.RejZeroLen += o.RejZeroLen
+	s.RejMalformed += o.RejMalformed
+	return s
 }
 
 // pending is a partially aggregated packet.
@@ -93,6 +166,29 @@ type pending struct {
 	hasTS   bool   // header layout: timestamp option present
 	l4off   int    // TCP header offset within skb.Head
 	dataOff int    // TCP header length
+
+	// held is the flow's resequencing window: ahead-of-sequence frames
+	// waiting for the gap to fill, sorted by sequence number. Always nil
+	// when Config.ReorderWindow is 0.
+	held []heldFrame
+}
+
+// heldFrame is one ahead-of-sequence frame parked in the resequencing
+// window, with the parsed fields needed to stitch it without re-touching
+// the headers.
+type heldFrame struct {
+	frame      nic.Frame
+	seq, ack   uint32
+	win        uint16
+	tsVal      uint32
+	tsEcr      uint32
+	payloadOff int // payload start within frame.Data
+	payloadLen int
+}
+
+// payload returns the held frame's TCP payload bytes.
+func (h heldFrame) payload() []byte {
+	return h.frame.Data[h.payloadOff : h.payloadOff+h.payloadLen]
 }
 
 // Engine is the Receive Aggregation engine for one CPU.
@@ -120,6 +216,15 @@ func New(cfg Config, m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) (*En
 	if cfg.TableSize <= 0 {
 		return nil, fmt.Errorf("aggregate: TableSize %d must be positive", cfg.TableSize)
 	}
+	if cfg.ReorderWindow < 0 {
+		return nil, fmt.Errorf("aggregate: ReorderWindow %d must be non-negative", cfg.ReorderWindow)
+	}
+	if cfg.ReorderWindowBytes < 0 {
+		return nil, fmt.Errorf("aggregate: ReorderWindowBytes %d must be non-negative", cfg.ReorderWindowBytes)
+	}
+	if cfg.ReorderWindow > 0 && cfg.ReorderWindowBytes == 0 {
+		cfg.ReorderWindowBytes = DefaultReorderWindowBytes
+	}
 	if m == nil || p == nil || alloc == nil {
 		return nil, fmt.Errorf("aggregate: nil dependency")
 	}
@@ -137,6 +242,16 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // PendingFlows returns the number of partially aggregated packets held.
 func (e *Engine) PendingFlows() int { return len(e.table) }
+
+// HeldFrames returns the number of frames currently parked in
+// resequencing windows across all pending flows.
+func (e *Engine) HeldFrames() int {
+	n := 0
+	for _, p := range e.table {
+		n += len(p.held)
+	}
+	return n
+}
 
 // Input consumes one raw frame from the aggregation queue. This is where
 // the early demultiplexing happens: the engine takes the compulsory cache
@@ -209,19 +324,157 @@ func (e *Engine) Input(f nic.Frame) {
 			p.lastTS = th.TSVal
 			p.lastTSE = th.TSEcr
 			e.stats.Coalesced++
-			if p.count >= e.cfg.Limit {
-				e.stats.FlushLimit++
-				e.finalize(p)
+			if len(p.held) > 0 || p.count >= e.cfg.Limit {
+				// The frame may have filled the gap in front of the
+				// resequencing window: stitch what is now contiguous
+				// (and handle the Limit, which can land mid-run).
+				e.stitchHeld(p)
 			}
 			return
 		}
-		// Same flow, not in sequence (retransmission, gap, ACK
-		// regression): deliver the pending aggregate first, then
-		// start fresh with this frame (§3.1 ordering guarantee).
-		e.stats.FlushMismatch++
+		// Same flow, not in sequence. A frame *ahead* of the expected
+		// sequence number that still satisfies the §3.1 flow rules is
+		// parked in the resequencing window (multi-queue reorder is
+		// overwhelmingly adjacent swaps — Wu et al.); everything else
+		// (retransmission, ACK regression, option-layout change, window
+		// exhausted) delivers the pending aggregate first, then starts
+		// fresh with this frame (§3.1 ordering guarantee).
+		if e.cfg.ReorderWindow > 0 && seqGT(th.Seq, p.nextSeq) &&
+			th.HasTimestamp == p.hasTS && seqGEQ(th.Ack, p.lastAck) {
+			if e.tryHold(p, f, &ih, &th, payloadLen) {
+				return
+			}
+			e.stats.FlushWindowOverflow++
+		} else {
+			e.stats.FlushMismatch++
+		}
 		e.finalize(p)
 	}
 	e.start(key, f, &ih, &th, payloadLen)
+}
+
+// tryHold parks an ahead-of-sequence frame in p's resequencing window,
+// sorted by sequence number. It fails (false) when the window is out of
+// slots, the frame lies beyond the byte span, or it overlaps a frame
+// already held — the capacity conditions that flush as WindowOverflow.
+// Holding charges one queue touch (the paper's cost model: the frame is
+// parked and re-consumed once, with no extra per-packet stack traversal).
+func (e *Engine) tryHold(p *pending, f nic.Frame, ih *ipv4.Header, th *tcpwire.Header, payloadLen int) bool {
+	if len(p.held) >= e.cfg.ReorderWindow {
+		return false
+	}
+	// All arithmetic is on deltas from the expected sequence number:
+	// within the (< 2^31) window span, plain comparisons are
+	// wraparound-safe.
+	start := th.Seq - p.nextSeq
+	end := start + uint32(payloadLen)
+	if int64(end) > int64(e.cfg.ReorderWindowBytes) {
+		return false
+	}
+	idx := len(p.held)
+	for i, h := range p.held {
+		hStart := h.seq - p.nextSeq
+		hEnd := hStart + uint32(h.payloadLen)
+		if start < hEnd && hStart < end {
+			return false // overlap: a duplicate or partial retransmission
+		}
+		if start < hStart {
+			idx = i
+			break
+		}
+	}
+	hf := heldFrame{
+		frame: f, seq: th.Seq, ack: th.Ack, win: th.Window,
+		tsVal: th.TSVal, tsEcr: th.TSEcr,
+		payloadOff: ether.HeaderLen + ih.IHL + th.DataOff, payloadLen: payloadLen,
+	}
+	p.held = append(p.held, heldFrame{})
+	copy(p.held[idx+1:], p.held[idx:])
+	p.held[idx] = hf
+	e.stats.Held++
+	e.meter.Charge(cycles.Aggr, e.params.NonProtoRawPerFrame)
+	return true
+}
+
+// stitchHeld folds the resequencing window into p after a gap-filling
+// frame advanced nextSeq: held frames now contiguous with the aggregate
+// are attached in sequence order. When the Limit lands mid-run the
+// aggregate is delivered and the run continues in a fresh pending, so a
+// stitched run longer than the Limit costs exactly the same number of
+// host packets as an in-order run of that length.
+func (e *Engine) stitchHeld(p *pending) {
+	for {
+		for len(p.held) > 0 && p.count < e.cfg.Limit {
+			hf := p.held[0]
+			if hf.seq != p.nextSeq {
+				break // still a gap in front of the window
+			}
+			if !seqGEQ(hf.ack, p.lastAck) {
+				// ACK regression inside the held run (§3.1): the
+				// whole flow state flushes, held remainder drained.
+				e.stats.FlushMismatch++
+				e.finalize(p)
+				return
+			}
+			p.held = p.held[1:]
+			e.alloc.AttachFrag(p.skb, buf.Frag{Data: hf.payload(), Ack: hf.ack, TSVal: hf.tsVal})
+			p.count++
+			p.nextSeq = hf.seq + uint32(hf.payloadLen)
+			p.lastAck = hf.ack
+			p.lastWin = hf.win
+			p.lastTS = hf.tsVal
+			p.lastTSE = hf.tsEcr
+			e.stats.Stitched++
+			e.stats.Coalesced++
+		}
+		if p.count < e.cfg.Limit {
+			return // window (if any) keeps waiting for its gap
+		}
+		// Limit reached. Deliver, detaching the window first so it can
+		// outlive the flush when the run continues.
+		held := p.held
+		nextSeq := p.nextSeq
+		key := p.key
+		p.held = nil
+		e.stats.FlushLimit++
+		e.finalize(p)
+		if len(held) == 0 {
+			return
+		}
+		if held[0].seq != nextSeq {
+			// The remaining window is non-contiguous with the flushed
+			// run and there is no pending aggregate left to anchor it:
+			// drain it in sequence order rather than park it nowhere.
+			e.drainHeldSlice(held)
+			return
+		}
+		// The run continues: reopen with the next held frame as the new
+		// head and keep stitching.
+		np := e.startHeldFrame(key, held[0])
+		if np == nil {
+			e.drainHeldSlice(held) // defensive: reparse cannot fail for a held frame
+			return
+		}
+		e.stats.Stitched++
+		np.held = held[1:]
+		p = np
+	}
+}
+
+// startHeldFrame opens a new pending aggregate headed by a previously
+// held frame (the Limit landed mid-stitch), reparsing its headers.
+func (e *Engine) startHeldFrame(key FlowKey, hf heldFrame) *pending {
+	l3 := hf.frame.Data[ether.HeaderLen:]
+	ih, err := ipv4.Parse(l3)
+	if err != nil {
+		return nil
+	}
+	th, err := tcpwire.Parse(l3[ih.IHL:ih.TotalLen])
+	if err != nil {
+		return nil
+	}
+	e.start(key, hf.frame, &ih, &th, hf.payloadLen)
+	return e.table[key]
 }
 
 // eligible applies the §3.1 frame-local rules, returning a pointer to the
@@ -392,6 +645,28 @@ func (e *Engine) deliver(p *pending) {
 		panic("aggregate: Out not wired")
 	}
 	e.Out(skb)
+	// Any flush of the aggregate also drains its resequencing window —
+	// after the aggregate and in sequence order, so the flow's bytes
+	// reach the stack exactly as far along as the engine ever saw them.
+	// This is what keeps held frames from outliving an idle flush (work
+	// conservation, §3.5), a table eviction, or a steering-migration
+	// FlushWhere (no held frame may span the migration boundary).
+	if len(p.held) > 0 {
+		held := p.held
+		p.held = nil
+		e.drainHeldSlice(held)
+	}
+}
+
+// drainHeldSlice delivers parked frames whose gap never filled, in
+// sequence order, each as an ordinary host packet. The stack's
+// out-of-order queue absorbs them exactly as it would have without the
+// window.
+func (e *Engine) drainHeldSlice(held []heldFrame) {
+	for _, hf := range held {
+		e.stats.WindowTimeout++
+		e.passthrough(hf.frame)
+	}
 }
 
 // rewriteHeader performs the §3.2 rewrite on the head frame in place:
@@ -439,3 +714,6 @@ func (e *Engine) passthrough(f nic.Frame) {
 
 // seqGEQ is wraparound-safe sequence comparison (a >= b).
 func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqGT is wraparound-safe sequence comparison (a > b).
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }

@@ -478,6 +478,255 @@ func TestCompactOrderBoundsMemory(t *testing.T) {
 	}
 }
 
+// TestReorderAdjacentSwapStitched: the canonical coalescing-reorder
+// pattern — two adjacent frames swapped — must not tear the aggregate
+// down when the resequencing window is on: the early frame is held and
+// stitched once the gap fills, yielding one aggregate with the payload in
+// sequence order.
+func TestReorderAdjacentSwapStitched(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 2})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil)) // frame 3 arrives early
+	if len(e.out) != 0 {
+		t.Fatalf("premature delivery: %d host packets", len(e.out))
+	}
+	if got := e.eng.HeldFrames(); got != 1 {
+		t.Fatalf("HeldFrames = %d, want 1", got)
+	}
+	e.eng.Input(flowFrame(1+1448, 1, 1448, nil)) // gap fills
+	e.eng.Input(flowFrame(1+3*1448, 1, 1448, nil))
+	e.eng.FlushAll()
+	if len(e.out) != 1 || e.out[0].NetPackets != 4 {
+		t.Fatalf("want one 4-frame aggregate, got %d packets (first NetPackets=%d)",
+			len(e.out), e.out[0].NetPackets)
+	}
+	// Payload must be byte-exact in sequence order despite the swap.
+	var got bytes.Buffer
+	got.Write(e.out[0].L3()[20+32 : 20+32+1448])
+	for _, f := range e.out[0].Frags {
+		got.Write(f.Data)
+	}
+	want := make([]byte, 4*1448)
+	for i := range want {
+		seq := uint32(1 + (i/1448)*1448)
+		want[i] = byte(seq + uint32(i%1448))
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("stitched payload not in sequence order")
+	}
+	st := e.eng.Stats()
+	if st.Held != 1 || st.Stitched != 1 || st.WindowTimeout != 0 ||
+		st.FlushMismatch != 0 || st.FlushWindowOverflow != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestReorderWindowOverflowFlushes: a frame beyond the window's capacity
+// flushes the aggregate (and drains the window) exactly like a mismatch,
+// counted as FlushWindowOverflow.
+func TestReorderWindowOverflowFlushes(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 1})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil)) // held (1 slot)
+	e.eng.Input(flowFrame(1+4*1448, 1, 1448, nil)) // window full -> overflow
+	if len(e.out) != 2 {
+		t.Fatalf("host packets = %d, want 2 (flushed head + drained held)", len(e.out))
+	}
+	if e.out[0].NetPackets != 1 || e.out[1].NetPackets != 1 {
+		t.Error("overflow flush delivered wrong shapes")
+	}
+	st := e.eng.Stats()
+	if st.FlushWindowOverflow != 1 || st.Held != 1 || st.WindowTimeout != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The overflowing frame starts the fresh pending aggregate.
+	if e.eng.PendingFlows() != 1 || e.eng.HeldFrames() != 0 {
+		t.Errorf("pending=%d held=%d after overflow", e.eng.PendingFlows(), e.eng.HeldFrames())
+	}
+	e.eng.FlushAll()
+}
+
+// TestReorderByteSpanBound: a frame within slot capacity but beyond
+// ReorderWindowBytes is not held.
+func TestReorderByteSpanBound(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 8, ReorderWindowBytes: 4000})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+4*1448, 1, 1448, nil)) // span 4*1448+1448 > 4000
+	if st := e.eng.Stats(); st.FlushWindowOverflow != 1 || st.Held != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	e.eng.FlushAll()
+}
+
+// TestReorderIdleFlushDrainsHeldInOrder: when the queue goes idle before
+// the gap fills, FlushAll delivers the aggregate first and then the held
+// frames in sequence order (work conservation: nothing outlives the
+// flush), counted as WindowTimeout.
+func TestReorderIdleFlushDrainsHeldInOrder(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 4})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+3*1448, 1, 1448, nil)) // held, out of order
+	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil)) // held, sorts before
+	e.eng.FlushAll()
+	if len(e.out) != 3 {
+		t.Fatalf("host packets = %d, want 3", len(e.out))
+	}
+	// Aggregate (head) first, then held frames by ascending sequence.
+	seqOf := func(s *buf.SKB) uint32 {
+		th, err := tcpwire.Parse(s.L3()[20:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return th.Seq
+	}
+	if e.out[0].NetPackets != 1 || seqOf(e.out[0]) != 1 {
+		t.Error("aggregate head not delivered first")
+	}
+	if seqOf(e.out[1]) != 1+2*1448 || seqOf(e.out[2]) != 1+3*1448 {
+		t.Error("held frames not drained in sequence order")
+	}
+	st := e.eng.Stats()
+	if st.Held != 2 || st.WindowTimeout != 2 || st.Stitched != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if e.eng.HeldFrames() != 0 || e.eng.PendingFlows() != 0 {
+		t.Error("window not empty after FlushAll")
+	}
+}
+
+// TestReorderFlushWhereDrainsHeld: the steering-migration handoff drains
+// the flow's resequencing window along with its aggregate — no held frame
+// may span the migration boundary.
+func TestReorderFlushWhereDrainsHeld(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 4})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil)) // held
+	n := e.eng.FlushWhere(func(k FlowKey) bool { return k.SrcPort == 5001 })
+	if n != 1 {
+		t.Fatalf("FlushWhere flushed %d, want 1", n)
+	}
+	if len(e.out) != 2 {
+		t.Fatalf("host packets = %d, want 2 (aggregate + drained held)", len(e.out))
+	}
+	if e.eng.HeldFrames() != 0 {
+		t.Error("held frame leaked across FlushWhere handoff")
+	}
+	if st := e.eng.Stats(); st.WindowTimeout != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestReorderLimitMidStitch: the Aggregation Limit landing inside a
+// stitched run closes the aggregate and continues the run in a fresh one
+// — same host-packet count as an in-order run of that length.
+func TestReorderLimitMidStitch(t *testing.T) {
+	e := newEnv(t, Config{Limit: 3, TableSize: 16, ReorderWindow: 4})
+	defer e.freeOut()
+	seqAt := func(i int) uint32 { return uint32(1 + i*1448) }
+	e.eng.Input(flowFrame(seqAt(0), 1, 1448, nil))
+	e.eng.Input(flowFrame(seqAt(1), 1, 1448, nil))
+	for _, i := range []int{3, 4, 5} { // ahead: held
+		e.eng.Input(flowFrame(seqAt(i), 1, 1448, nil))
+	}
+	e.eng.Input(flowFrame(seqAt(2), 1, 1448, nil)) // gap fills: stitch run of 6
+	if len(e.out) != 2 || e.out[0].NetPackets != 3 || e.out[1].NetPackets != 3 {
+		t.Fatalf("want two 3-frame aggregates, got %d packets", len(e.out))
+	}
+	st := e.eng.Stats()
+	if st.Held != 3 || st.Stitched != 3 || st.WindowTimeout != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.FlushLimit != 2 {
+		t.Errorf("FlushLimit = %d, want 2", st.FlushLimit)
+	}
+}
+
+// TestReorderHeldAckRegression: a held frame whose ACK regresses relative
+// to the aggregate by stitch time violates §3.1 and flushes everything.
+func TestReorderHeldAckRegression(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 4})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 2000, 1448, nil))
+	e.eng.Input(flowFrame(1+2*1448, 2500, 1448, nil)) // held, ack fine at hold time
+	// Gap filler advances the aggregate's ACK beyond the held frame's.
+	e.eng.Input(flowFrame(1+1448, 3000, 1448, nil))
+	if st := e.eng.Stats(); st.FlushMismatch != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Aggregate of 2 delivered, held frame drained after it.
+	if len(e.out) != 2 || e.out[0].NetPackets != 2 {
+		t.Fatalf("unexpected delivery shape: %d packets", len(e.out))
+	}
+	e.eng.FlushAll()
+}
+
+// TestReorderDuplicateHeldRejected: a frame overlapping one already held
+// (a retransmission inside the window) cannot be held — it flushes.
+func TestReorderDuplicateHeldRejected(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 4})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil)) // duplicate of the held frame
+	if st := e.eng.Stats(); st.FlushWindowOverflow != 1 || st.Held != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	e.eng.FlushAll()
+}
+
+// TestReorderWindowZeroIdentical: ReorderWindow = 0 must reproduce the
+// original flush-on-OOO behaviour exactly (the golden-compatibility
+// contract).
+func TestReorderWindowZeroIdentical(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 0})
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil)) // OOO: must flush, not hold
+	if st := e.eng.Stats(); st.FlushMismatch != 1 || st.Held != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(e.out) != 1 {
+		t.Fatalf("host packets = %d, want 1", len(e.out))
+	}
+	e.eng.FlushAll()
+	e.freeOut()
+}
+
+// TestReorderConfigValidation: negative window parameters are errors.
+func TestReorderConfigValidation(t *testing.T) {
+	var m cycles.Meter
+	p := cost.NativeUP()
+	alloc := buf.NewAllocator(&m, &p)
+	if _, err := New(Config{Limit: 2, TableSize: 4, ReorderWindow: -1}, &m, &p, alloc); err == nil {
+		t.Error("negative ReorderWindow accepted")
+	}
+	if _, err := New(Config{Limit: 2, TableSize: 4, ReorderWindowBytes: -1}, &m, &p, alloc); err == nil {
+		t.Error("negative ReorderWindowBytes accepted")
+	}
+}
+
+// TestReorderStitchAcrossSequenceWrap: hold/stitch arithmetic must be
+// wraparound-safe like the rest of the engine.
+func TestReorderStitchAcrossSequenceWrap(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 2})
+	defer e.freeOut()
+	seq := uint32(0xFFFFFFFF - 2000) // run crosses 2^32
+	e.eng.Input(flowFrame(seq, 1, 1448, nil))
+	e.eng.Input(flowFrame(seq+2*1448, 1, 1448, nil)) // early
+	e.eng.Input(flowFrame(seq+1448, 1, 1448, nil))   // gap fills across wrap
+	e.eng.FlushAll()
+	if len(e.out) != 1 || e.out[0].NetPackets != 3 {
+		t.Fatalf("wrap broke stitching: %d host packets", len(e.out))
+	}
+	if st := e.eng.Stats(); st.Stitched != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
 func TestFlowKeyString(t *testing.T) {
 	k := FlowKey{Src: ipv4.Addr{1, 2, 3, 4}, Dst: ipv4.Addr{5, 6, 7, 8}, SrcPort: 9, DstPort: 10}
 	if k.String() != "1.2.3.4:9->5.6.7.8:10" {

@@ -39,10 +39,29 @@ type Link struct {
 	// the sender's fast-retransmit machinery.
 	CorruptOneIn int
 
+	// ReorderOneIn, when positive, displaces every Nth forward frame by
+	// ReorderDistance positions: the frame is withheld at the receiver
+	// edge until that many later frames have been delivered, then
+	// injected — the deterministic reorder fault of a coalescing
+	// multi-queue receiver (adjacent swaps at distance 1, k-distance
+	// displacement beyond; Wu et al.). The displacement is at the
+	// delivery point, after serialization, so wire timing and
+	// backpressure are unchanged.
+	ReorderOneIn int
+	// ReorderDistance is the displacement distance in frames (0 = 1,
+	// the adjacent swap).
+	ReorderDistance int
+
 	busy     bool
 	inFlight int
 	fwdCount int
 	stats    LinkStats
+
+	// Reorder-injector state: the withheld frame and how many deliveries
+	// remain before it is released.
+	reorderCount int
+	displaced    []byte
+	displaceLeft int
 }
 
 // LinkStats counts link activity.
@@ -53,6 +72,8 @@ type LinkStats struct {
 	IdleEvents      uint64
 	ReverseFrames   uint64
 	Corrupted       uint64
+	// Reordered counts frames the reorder injector displaced.
+	Reordered uint64
 }
 
 // DefaultLinkDelayNs is the one-way delay used by the experiments. It is
@@ -115,11 +136,14 @@ func (l *Link) transmitNext() {
 	frame := l.sender.NextFrame()
 	if frame == nil {
 		// Window-limited: the sender will Kick when ACKs arrive. If
-		// nothing remains in flight either, flush the NIC's coalesced
+		// nothing remains in flight either, release any displaced frame
+		// (its reorder window cannot fill while the wire idles — holding
+		// it would deadlock the ACK clock) and flush the NIC's coalesced
 		// interrupt so the tail of a burst is processed immediately
 		// (this is what keeps request/response latency flat, §5.4).
 		l.stats.IdleEvents++
 		if l.inFlight == 0 {
+			l.releaseDisplaced()
 			l.dst.FlushInterrupt()
 		}
 		return
@@ -136,18 +160,63 @@ func (l *Link) transmitNext() {
 	l.fwdCount++
 	corrupt := l.CorruptOneIn > 0 && l.fwdCount%l.CorruptOneIn == 0
 	l.sim.After(wire+l.DelayNs, func() {
-		l.stats.FramesDelivered++
-		l.stats.BytesDelivered += uint64(len(frame))
 		l.inFlight--
 		if corrupt && len(frame) > 70 {
 			frame[len(frame)-1] ^= 0x01
 			l.stats.Corrupted++
 		}
-		l.dst.ReceiveFromWire(nic.Frame{Data: frame})
+		l.deliverForward(frame)
 		if l.inFlight == 0 && !l.busy {
+			l.releaseDisplaced()
 			l.dst.FlushInterrupt()
 		}
 	})
+}
+
+// deliverForward hands a frame to the receiver NIC, applying the reorder
+// injector: every ReorderOneIn-th frame is withheld and re-injected after
+// ReorderDistance later frames have been delivered.
+func (l *Link) deliverForward(frame []byte) {
+	if l.ReorderOneIn <= 0 {
+		l.deliver(frame)
+		return
+	}
+	if l.displaced != nil {
+		l.deliver(frame)
+		l.displaceLeft--
+		if l.displaceLeft <= 0 {
+			l.releaseDisplaced()
+		}
+		return
+	}
+	l.reorderCount++
+	if l.reorderCount%l.ReorderOneIn == 0 {
+		l.displaced = frame
+		l.displaceLeft = l.ReorderDistance
+		if l.displaceLeft <= 0 {
+			l.displaceLeft = 1 // adjacent swap
+		}
+		return
+	}
+	l.deliver(frame)
+}
+
+// releaseDisplaced injects the withheld frame, if any.
+func (l *Link) releaseDisplaced() {
+	if l.displaced == nil {
+		return
+	}
+	f := l.displaced
+	l.displaced = nil
+	l.stats.Reordered++
+	l.deliver(f)
+}
+
+// deliver is the actual handoff into the receiver's ring.
+func (l *Link) deliver(frame []byte) {
+	l.stats.FramesDelivered++
+	l.stats.BytesDelivered += uint64(len(frame))
+	l.dst.ReceiveFromWire(nic.Frame{Data: frame})
 }
 
 // DeliverReverse carries a receiver-transmitted frame back to the sender

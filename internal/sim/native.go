@@ -34,6 +34,10 @@ type Machine interface {
 	MeterRef() *cycles.Meter
 	AllocRef() *buf.Allocator
 	ParamsRef() *cost.Params
+	// ReceivePaths returns every CPU's optimized aggregation path (nil
+	// slice on baseline paths) — engine stats, flush-reason taxonomy and
+	// resequencing-window counters.
+	ReceivePaths() []*core.ReceivePath
 	// FlowTable exposes the receiving stack's sharded demux table
 	// (per-shard stats: flows, demux hits, steals).
 	FlowTable() *netstack.FlowTable
@@ -61,6 +65,11 @@ type Machine interface {
 	// rule table evicts a victim to make room, the victim's key is
 	// returned so the policy can forget it.
 	SteerFlow(k netstack.FlowKey, hash uint32, cpu int) (evicted *netstack.FlowKey, err error)
+	// UnsteerFlow removes flow k's exact-match steering rule (aRFS rule
+	// aging): the flow reverts to its bucket's indirection, with the
+	// same handoff as any re-steer — pending aggregation state drained,
+	// ownership override cleared. No-op when no rule is programmed.
+	UnsteerFlow(k netstack.FlowKey)
 	RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error
 	UnregisterEndpoint(remoteIP, localIP [4]byte, remotePort, localPort uint16)
 	Endpoints() []*tcp.Endpoint
@@ -163,11 +172,13 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	if cfg.Mode == NativeOptimized {
 		opts := cfg.Aggregation
 		if opts.QueueCapacity == 0 {
-			limit := opts.Aggregation.Limit
+			agg := opts.Aggregation
 			opts = core.DefaultOptions()
-			if limit > 0 {
-				opts.Aggregation.Limit = limit
+			if agg.Limit > 0 {
+				opts.Aggregation.Limit = agg.Limit
 			}
+			opts.Aggregation.ReorderWindow = agg.ReorderWindow
+			opts.Aggregation.ReorderWindowBytes = agg.ReorderWindowBytes
 		}
 		for cpu := 0; cpu < m.cpus; cpu++ {
 			rp, err := core.NewOnCPU(cpu, opts, &m.Meter, &m.Params, m.Alloc, m.Stack.InputOn(cpu))
@@ -320,6 +331,21 @@ func (m *NativeMachine) SteerFlow(k netstack.FlowKey, hash uint32, cpu int) (*ne
 	table.ClearFlowOwner(vk)
 	core.FlushFlow(m.rps, vk.Src, vk.Dst, vk.SrcPort, vk.DstPort)
 	return &vk, nil
+}
+
+// UnsteerFlow removes flow k's aRFS rule (rule aging): the flow reverts
+// to its bucket's indirection with the standard migration handoff —
+// pending aggregation state (including any resequencing window) drained,
+// ownership override cleared, coalesced interrupts kicked. The simulation
+// is single-threaded, so no frame can arrive between these steps.
+func (m *NativeMachine) UnsteerFlow(k netstack.FlowKey) {
+	t := nic.FlowTuple{Src: k.Src, Dst: k.Dst, SrcPort: k.SrcPort, DstPort: k.DstPort}
+	if !m.nics[m.nicOf(k)].RemoveFlowRule(t) {
+		return
+	}
+	m.Stack.FlowTable().ClearFlowOwner(k)
+	core.FlushFlow(m.rps, k.Src, k.Dst, k.SrcPort, k.DstPort)
+	m.flushCoalescing()
 }
 
 // nicOf maps a flow to the NIC carrying its sender subnet (10.0.<n>.x).

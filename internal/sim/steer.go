@@ -26,6 +26,7 @@ type steerController struct {
 
 	moves         uint64
 	appMigrations uint64
+	rulesAged     uint64
 	migrateIdx    int
 
 	// applying guards against re-entry: applying a steering change
@@ -47,6 +48,12 @@ func newSteerController(top *streamTopology, cfg SteerConfig) (*steerController,
 	if sc.epochNs == 0 {
 		sc.epochNs = defaultSteerEpochNs
 	}
+	if cfg.RuleIdleEpochs < 0 {
+		return nil, fmt.Errorf("sim: RuleIdleEpochs %d must be non-negative", cfg.RuleIdleEpochs)
+	}
+	if cfg.RuleIdleEpochs > 0 && !cfg.ARFS {
+		return nil, fmt.Errorf("sim: RuleIdleEpochs ages aRFS rules; set ARFS too")
+	}
 	if cfg.Enabled {
 		reb, err := steer.NewRebalancer(steer.RebalanceConfig{
 			SpreadThreshold:  cfg.SpreadThreshold,
@@ -59,7 +66,6 @@ func newSteerController(top *streamTopology, cfg SteerConfig) (*steerController,
 		sc.reb = reb
 		sc.prevBusy = make([]uint64, top.machine.CPUs())
 		sc.prevLoads = make([]uint64, rss.Buckets)
-		top.sim.After(sc.epochNs, sc.epochTick)
 	}
 	if cfg.ARFS {
 		sc.arfs = steer.NewARFS[netstack.FlowKey]()
@@ -68,7 +74,16 @@ func newSteerController(top *streamTopology, cfg SteerConfig) (*steerController,
 			top.sim.After(cfg.AppMigrateIntervalNs, sc.migrateTick)
 		}
 	}
+	// The epoch loop drives the rebalancer and/or aRFS rule aging.
+	if sc.reb != nil || sc.agingActive() {
+		top.sim.After(sc.epochNs, sc.epochTick)
+	}
 	return sc, nil
+}
+
+// agingActive reports whether aRFS rule aging runs on the epoch loop.
+func (sc *steerController) agingActive() bool {
+	return sc.arfs != nil && sc.cfg.RuleIdleEpochs > 0
 }
 
 // epochTick is one rebalance evaluation: diff per-CPU busy cycles and
@@ -80,36 +95,59 @@ func newSteerController(top *streamTopology, cfg SteerConfig) (*steerController,
 // bucket→channel rebalancer.
 func (sc *steerController) epochTick() {
 	top := sc.top
-	busy := top.cpu.perCPUBusy()
-	epochCycles := top.machine.ParamsRef().ClockHz * float64(sc.epochNs) / 1e9
-	targets := top.machine.SteerTargets()
-	util := make([]float64, targets)
-	for c := range util {
-		util[c] = float64(busy[c]-sc.prevBusy[c]) / epochCycles
-	}
-	sc.prevBusy = busy
-
-	loads := make([]uint64, rss.Buckets)
-	for _, n := range top.machine.NICs() {
-		for b, f := range n.BucketFrames() {
-			loads[b] += f
+	if sc.reb != nil {
+		busy := top.cpu.perCPUBusy()
+		epochCycles := top.machine.ParamsRef().ClockHz * float64(sc.epochNs) / 1e9
+		targets := top.machine.SteerTargets()
+		util := make([]float64, targets)
+		for c := range util {
+			util[c] = float64(busy[c]-sc.prevBusy[c]) / epochCycles
 		}
-	}
-	delta := make([]uint64, rss.Buckets)
-	for b := range loads {
-		delta[b] = loads[b] - sc.prevLoads[b]
-	}
-	sc.prevLoads = loads
+		sc.prevBusy = busy
 
-	moves := sc.reb.Plan(util, delta, top.machine.SteerMap().Snapshot())
-	sc.applying = true
-	for _, mv := range moves {
-		mv := mv
-		top.cpu.runOn(mv.From, func() { top.machine.SteerBucket(mv.Bucket, mv.To) })
-		sc.moves++
+		loads := make([]uint64, rss.Buckets)
+		for _, n := range top.machine.NICs() {
+			for b, f := range n.BucketFrames() {
+				loads[b] += f
+			}
+		}
+		delta := make([]uint64, rss.Buckets)
+		for b := range loads {
+			delta[b] = loads[b] - sc.prevLoads[b]
+		}
+		sc.prevLoads = loads
+
+		moves := sc.reb.Plan(util, delta, top.machine.SteerMap().Snapshot())
+		sc.applying = true
+		for _, mv := range moves {
+			mv := mv
+			top.cpu.runOn(mv.From, func() { top.machine.SteerBucket(mv.Bucket, mv.To) })
+			sc.moves++
+		}
+		sc.applying = false
 	}
-	sc.applying = false
+	sc.ageRules()
 	top.sim.After(sc.epochNs, sc.epochTick)
+}
+
+// ageRules expires aRFS rules for flows unobserved longer than
+// RuleIdleEpochs: each victim's rule is removed through the machine with
+// the standard handoff, billed to the CPU that owned the flow (it loses
+// the flow's pending state the way a migration source does).
+func (sc *steerController) ageRules() {
+	if !sc.agingActive() {
+		return
+	}
+	sc.arfs.Tick()
+	for _, k := range sc.arfs.Expire(uint64(sc.cfg.RuleIdleEpochs)) {
+		k := k
+		hash := rss.HashTCP4(k.Src, k.Dst, k.SrcPort, k.DstPort)
+		owner := sc.top.machine.FlowTable().OwnerOf(k, hash)
+		sc.applying = true
+		sc.top.cpu.runOn(owner, func() { sc.top.machine.UnsteerFlow(k) })
+		sc.applying = false
+		sc.rulesAged++
+	}
 }
 
 // onSockRead is the stack's socket-read observation: flow k's application
@@ -171,6 +209,7 @@ func (sc *steerController) report() *SteerReport {
 	r := &SteerReport{
 		Moves:         sc.moves,
 		AppMigrations: sc.appMigrations,
+		RulesAged:     sc.rulesAged,
 		Indirection:   sc.top.machine.SteerMap().Snapshot(),
 	}
 	if sc.reb != nil {

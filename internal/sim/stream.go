@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/aggregate"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/cycles"
@@ -124,6 +125,24 @@ type StreamConfig struct {
 	// Steering configures dynamic flow steering (zero value: static RSS,
 	// the exact PR 2 pipeline).
 	Steering SteerConfig
+	// ReorderWindow sets the aggregation engines' per-flow resequencing
+	// window in frames (0 = disabled, the strict flush-on-OOO engine —
+	// bit-identical to the previous pipeline). Only meaningful on
+	// optimized paths.
+	ReorderWindow int
+	// Reorder configures the deterministic reorder fault injector on
+	// every link (zero value: no reordering).
+	Reorder ReorderConfig
+}
+
+// ReorderConfig tunes the link-level reorder fault injector: the frame
+// displacement a coalescing multi-queue receiver sees (Wu et al.).
+type ReorderConfig struct {
+	// OneIn displaces every Nth forward frame per link (0 = off).
+	OneIn int
+	// Distance is the displacement distance in frames (0 or 1 = the
+	// adjacent swap; k > 1 delays the frame past k successors).
+	Distance int
 }
 
 // SteerConfig are the dynamic-steering knobs of a stream run.
@@ -145,6 +164,11 @@ type SteerConfig struct {
 	ARFS bool
 	// RuleTableSlots bounds each NIC's rule table (0 = 256).
 	RuleTableSlots int
+	// RuleIdleEpochs enables aRFS rule aging: a flow's exact-match rule
+	// is removed after the flow goes unobserved for more than this many
+	// steering epochs, instead of squatting a rule-table slot until LRU
+	// pressure evicts it (0 = aging off).
+	RuleIdleEpochs int
 	// AppMigrateIntervalNs, when non-zero, re-pins one endpoint's
 	// application to the next CPU every interval — the scheduler-moves-
 	// the-app workload that forces aRFS to follow mid-stream.
@@ -167,6 +191,8 @@ func DefaultStreamConfig(system SystemKind, opt OptLevel) StreamConfig {
 
 // StreamResult reports one bulk-receive run.
 type StreamResult struct {
+	// DurationNs is the measured interval the rates were computed over.
+	DurationNs uint64
 	// ThroughputMbps is application goodput over the measured interval.
 	ThroughputMbps float64
 	// CPUUtil is receiver busy cycles / available cycles (one core
@@ -200,6 +226,21 @@ type StreamResult struct {
 	// Steer reports dynamic-steering activity (nil when steering was
 	// off).
 	Steer *SteerReport
+	// EngineAgg is each aggregation engine's cumulative counters at the
+	// end of the run (index = CPU; nil on baseline paths): flush-reason
+	// taxonomy plus resequencing-window activity.
+	EngineAgg []aggregate.Stats
+	// AggStats sums EngineAgg across engines.
+	AggStats aggregate.Stats
+	// OOOSegs is the number of segments the receiver endpoints queued
+	// out of order during the measured interval — the TCP OOO-queue
+	// pressure the resequencing window relieves. OOOPeak is the largest
+	// out-of-order queue any endpoint reached over the whole run.
+	OOOSegs uint64
+	OOOPeak uint64
+	// ReorderedFrames counts frames the links' reorder injector
+	// displaced over the whole run (warm-up included).
+	ReorderedFrames uint64
 }
 
 // SteerReport summarizes a run's dynamic-steering activity.
@@ -209,8 +250,10 @@ type SteerReport struct {
 	Epochs, CalmEpochs, Moves uint64
 	// RulesProgrammed/RuleEvictions/RuleHits sum the NICs' exact-match
 	// rule activity; RuleOccupancy is the live rule count at the end.
+	// RulesAged counts rules removed by idle-flow aging.
 	RulesProgrammed, RuleEvictions, RuleHits uint64
 	RuleOccupancy                            int
+	RulesAged                                uint64
 	// AppMigrations counts mid-stream application re-pinnings;
 	// FlowOwnerOverrides the per-flow ownership overrides live at the
 	// end.
@@ -218,6 +261,31 @@ type SteerReport struct {
 	FlowOwnerOverrides int
 	// Indirection is the final bucket→CPU table.
 	Indirection []int
+}
+
+// BytesDelivered returns the application bytes of the measured interval.
+func (r StreamResult) BytesDelivered() float64 {
+	return r.ThroughputMbps * 1e6 / 8 * float64(r.DurationNs) / 1e9
+}
+
+// BytesPerAggregate returns the average application bytes one host
+// packet carried — the §5.5 byte-level effectiveness measure (0 when the
+// run delivered nothing).
+func (r StreamResult) BytesPerAggregate() float64 {
+	if r.AggFactor <= 0 || r.Frames == 0 {
+		return 0
+	}
+	return r.BytesDelivered() / (float64(r.Frames) / r.AggFactor)
+}
+
+// CyclesPerByte returns charged receive-path cycles per delivered
+// application byte (0 when the run delivered nothing).
+func (r StreamResult) CyclesPerByte() float64 {
+	b := r.BytesDelivered()
+	if b <= 0 {
+		return 0
+	}
+	return r.CyclesPerPacket * float64(r.Frames) / b
 }
 
 // UtilSpread returns max−min per-CPU utilization — the imbalance metric
@@ -264,6 +332,7 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	startFrames := top.machine.NetFramesIn()
 	startHost := top.machine.HostPacketsIn()
 	startBusy := top.cpu.perCPUBusy()
+	startOOO := oooSegs(top.machine)
 
 	s.RunUntil(cfg.WarmupNs + cfg.DurationNs)
 
@@ -277,6 +346,7 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	elapsedSec := float64(cfg.DurationNs) / 1e9
 	cpuCycles := top.machine.ParamsRef().ClockHz * elapsedSec
 	res := StreamResult{
+		DurationNs:      cfg.DurationNs,
 		Frames:          frames,
 		LinkLimitedMbps: float64(cfg.NICs) * linkGoodputMbps(),
 		ThroughputMbps:  float64(bytes) * 8 / elapsedSec / 1e6,
@@ -310,7 +380,30 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	if top.steer != nil {
 		res.Steer = top.steer.report()
 	}
+	res.OOOSegs = oooSegs(top.machine) - startOOO
+	for _, ep := range top.machine.Endpoints() {
+		if p := ep.Stats().OOOPeak; p > res.OOOPeak {
+			res.OOOPeak = p
+		}
+	}
+	for _, rp := range top.machine.ReceivePaths() {
+		st := rp.Engine().Stats()
+		res.EngineAgg = append(res.EngineAgg, st)
+		res.AggStats = res.AggStats.Add(st)
+	}
+	for _, l := range top.links {
+		res.ReorderedFrames += l.Stats().Reordered
+	}
 	return res, nil
+}
+
+// oooSegs sums the receiver endpoints' out-of-order queue insertions.
+func oooSegs(m Machine) uint64 {
+	var total uint64
+	for _, ep := range m.Endpoints() {
+		total += ep.Stats().OOOSegs
+	}
+	return total
 }
 
 // linkGoodputMbps is the per-link TCP goodput ceiling for MSS-sized
@@ -346,6 +439,12 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	if cfg.FlowSkew < 0 {
 		return nil, fmt.Errorf("sim: FlowSkew %f must be non-negative", cfg.FlowSkew)
 	}
+	if cfg.ReorderWindow < 0 {
+		return nil, fmt.Errorf("sim: ReorderWindow %d must be non-negative", cfg.ReorderWindow)
+	}
+	if cfg.Reorder.OneIn < 0 || cfg.Reorder.Distance < 0 {
+		return nil, fmt.Errorf("sim: negative reorder-injector config %+v", cfg.Reorder)
+	}
 	s := NewSim()
 
 	machine, err := buildMachine(cfg, s)
@@ -364,6 +463,8 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		sender.MaxPayload = cfg.MessageSize
 		link := NewLink(s, sender, machine.NICs()[i])
 		link.CorruptOneIn = cfg.CorruptOneIn
+		link.ReorderOneIn = cfg.Reorder.OneIn
+		link.ReorderDistance = cfg.Reorder.Distance
 		machine.NICs()[i].OnTransmit = nicReverse(link, cpu)
 		top.senders = append(top.senders, sender)
 		top.links = append(top.links, link)
@@ -423,6 +524,7 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 	if cfg.AggLimit > 0 {
 		aggOpts.Aggregation.Limit = cfg.AggLimit
 	}
+	aggOpts.Aggregation.ReorderWindow = cfg.ReorderWindow
 	aggOpts.AckOffload = cfg.Opt == OptFull
 
 	ruleSlots := 0

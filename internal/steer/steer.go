@@ -203,20 +203,38 @@ type ARFSStats struct {
 	// the steering decisions issued (first-time and re-steers);
 	// Forgotten the flows dropped from tracking.
 	Observations, Programs, Forgotten uint64
+	// Expired counts flows aged out for idleness (no observation for
+	// longer than the caller's idle bound).
+	Expired uint64
+}
+
+// arfsEntry is one tracked flow's policy state.
+type arfsEntry struct {
+	cpu      int
+	lastSeen uint64 // epoch of the last observation
 }
 
 // ARFS is the accelerated-RFS policy: it tracks, per flow, the CPU the
 // consuming application was last observed on, and decides when a steering
-// rule must be (re)programmed. K is the flow-key type of the caller's
-// stack (the policy never inspects it).
+// rule must be (re)programmed. It also ages rules: exact-match NIC tables
+// are small, and a rule for a flow that stopped talking squats a slot
+// until LRU pressure happens to evict it — Expire returns flows idle
+// longer than a bound so the control path can remove their rules
+// proactively. K is the flow-key type of the caller's stack (the policy
+// never inspects it).
 type ARFS[K comparable] struct {
-	desired map[K]int
-	stats   ARFSStats
+	desired map[K]arfsEntry
+	// order preserves first-observation order so Expire returns victims
+	// deterministically (map iteration order would leak into the
+	// caller's rule-removal order and break run reproducibility).
+	order []K
+	epoch uint64
+	stats ARFSStats
 }
 
 // NewARFS creates an empty policy.
 func NewARFS[K comparable]() *ARFS[K] {
-	return &ARFS[K]{desired: make(map[K]int)}
+	return &ARFS[K]{desired: make(map[K]arfsEntry)}
 }
 
 // Stats returns a copy of the policy counters.
@@ -229,18 +247,46 @@ func (a *ARFS[K]) Flows() int { return len(a.desired) }
 // on appCPU. It reports whether a steering rule must be programmed —
 // true exactly when appCPU is a real CPU and differs from what the policy
 // last programmed for k (so a settled flow costs one map lookup per
-// observation and no rule churn).
+// observation and no rule churn). Every observation refreshes the flow's
+// idle clock.
 func (a *ARFS[K]) Observe(k K, appCPU int) bool {
 	a.stats.Observations++
 	if appCPU < 0 {
 		return false
 	}
-	if cur, ok := a.desired[k]; ok && cur == appCPU {
-		return false
+	if cur, ok := a.desired[k]; ok {
+		cur.lastSeen = a.epoch
+		if cur.cpu == appCPU {
+			a.desired[k] = cur
+			return false
+		}
+		cur.cpu = appCPU
+		a.desired[k] = cur
+		a.stats.Programs++
+		return true
 	}
-	a.desired[k] = appCPU
+	a.desired[k] = arfsEntry{cpu: appCPU, lastSeen: a.epoch}
+	if len(a.order) > 2*len(a.desired)+16 {
+		a.compactOrder()
+	}
+	a.order = append(a.order, k)
 	a.stats.Programs++
 	return true
+}
+
+// compactOrder drops stale entries (forgotten flows, duplicates from a
+// forget/re-observe cycle) so the order slice stays proportional to the
+// tracked flow count even on long churn runs with aging off.
+func (a *ARFS[K]) compactOrder() {
+	seen := make(map[K]bool, len(a.desired))
+	live := a.order[:0]
+	for _, k := range a.order {
+		if _, ok := a.desired[k]; ok && !seen[k] {
+			seen[k] = true
+			live = append(live, k)
+		}
+	}
+	a.order = live
 }
 
 // Forget drops k from tracking (flow teardown or rule eviction): the next
@@ -250,4 +296,31 @@ func (a *ARFS[K]) Forget(k K) {
 		delete(a.desired, k)
 		a.stats.Forgotten++
 	}
+}
+
+// Tick advances the policy's epoch clock (call once per steering epoch).
+func (a *ARFS[K]) Tick() { a.epoch++ }
+
+// Expire removes and returns the flows not observed for more than maxIdle
+// epochs, in first-observation order. The caller removes their NIC rules
+// (with the usual migration handoff); a flow that talks again later is
+// simply re-observed and re-programmed.
+func (a *ARFS[K]) Expire(maxIdle uint64) []K {
+	var expired []K
+	live := a.order[:0]
+	for _, k := range a.order {
+		e, ok := a.desired[k]
+		if !ok {
+			continue // forgotten (teardown/eviction): drop from order too
+		}
+		if a.epoch-e.lastSeen > maxIdle {
+			delete(a.desired, k)
+			a.stats.Expired++
+			expired = append(expired, k)
+			continue
+		}
+		live = append(live, k)
+	}
+	a.order = live
+	return expired
 }

@@ -162,3 +162,54 @@ func TestARFSObserve(t *testing.T) {
 		t.Errorf("stats = %+v, want 3 programs, 1 forgotten", s)
 	}
 }
+
+// TestARFSRuleAging: flows unobserved for more than maxIdle epochs
+// expire in first-observation order; observed flows never expire; an
+// expired flow that talks again re-programs from scratch.
+func TestARFSRuleAging(t *testing.T) {
+	a := NewARFS[string]()
+	a.Observe("idle-1", 0)
+	a.Observe("busy", 1)
+	a.Observe("idle-2", 2)
+	for e := 0; e < 3; e++ {
+		a.Tick()
+		a.Observe("busy", 1) // refreshed every epoch
+		if got := a.Expire(2); e < 2 && len(got) != 0 {
+			t.Fatalf("epoch %d: expired %v before the idle bound", e, got)
+		} else if e == 2 {
+			if len(got) != 2 || got[0] != "idle-1" || got[1] != "idle-2" {
+				t.Fatalf("epoch 2: expired %v, want [idle-1 idle-2] in observation order", got)
+			}
+		}
+	}
+	if a.Flows() != 1 {
+		t.Errorf("Flows = %d after aging, want 1 (busy)", a.Flows())
+	}
+	if s := a.Stats(); s.Expired != 2 {
+		t.Errorf("Expired = %d, want 2", s.Expired)
+	}
+	// The expired flow talks again: it must re-program like a new flow.
+	if !a.Observe("idle-1", 0) {
+		t.Error("re-observed expired flow did not program")
+	}
+}
+
+// TestARFSAgingAfterForget: a flow forgotten (evicted/torn down) between
+// observation and expiry must not be double-counted or returned by
+// Expire — the eviction-handoff already dropped its rule.
+func TestARFSAgingAfterForget(t *testing.T) {
+	a := NewARFS[string]()
+	a.Observe("gone", 0)
+	a.Observe("stays", 1)
+	a.Forget("gone")
+	for e := 0; e < 4; e++ {
+		a.Tick()
+	}
+	got := a.Expire(2)
+	if len(got) != 1 || got[0] != "stays" {
+		t.Fatalf("Expire = %v, want [stays] only", got)
+	}
+	if s := a.Stats(); s.Expired != 1 || s.Forgotten != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -100,14 +100,18 @@ type Stats struct {
 	AckPacketsOut     uint64
 	AckTemplatesOut   uint64
 	DupSegs, OOOSegs  uint64
-	BadCsum           uint64
-	AcksIn            uint64
-	DupAcksIn         uint64
-	FastRetransmits   uint64
-	RTOs              uint64
-	DelAckTimerFires  uint64
-	FinsOut           uint64 // FIN transmissions (including retransmits)
-	FinsIn            uint64 // FIN-flagged segments processed
+	// OOOPeak is the high-water mark of the out-of-order queue in
+	// segments — the OOO-queue pressure signal the receive-side
+	// resequencing window is meant to relieve.
+	OOOPeak          uint64
+	BadCsum          uint64
+	AcksIn           uint64
+	DupAcksIn        uint64
+	FastRetransmits  uint64
+	RTOs             uint64
+	DelAckTimerFires uint64
+	FinsOut          uint64 // FIN transmissions (including retransmits)
+	FinsIn           uint64 // FIN-flagged segments processed
 }
 
 type oooSegment struct {
@@ -538,10 +542,19 @@ func (e *Endpoint) insertOOO(seg oooSegment) {
 		}
 		if seqLT(seg.seq, q.seq) {
 			e.ooo = append(e.ooo[:i], append([]oooSegment{seg}, e.ooo[i:]...)...)
+			e.notePeakOOO()
 			return
 		}
 	}
 	e.ooo = append(e.ooo, seg)
+	e.notePeakOOO()
+}
+
+// notePeakOOO tracks the out-of-order queue's high-water mark.
+func (e *Endpoint) notePeakOOO() {
+	if n := uint64(len(e.ooo)); n > e.stats.OOOPeak {
+		e.stats.OOOPeak = n
+	}
 }
 
 // drainOOO delivers queued segments made contiguous by new in-order data.

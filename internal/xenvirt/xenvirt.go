@@ -249,7 +249,10 @@ func New(cfg Config) (*Machine, error) {
 			opts = core.DefaultOptions()
 			opts.Aggregation = cfg.Aggregation.Aggregation
 			if opts.Aggregation.Limit == 0 {
+				agg := opts.Aggregation
 				opts.Aggregation = core.DefaultOptions().Aggregation
+				opts.Aggregation.ReorderWindow = agg.ReorderWindow
+				opts.Aggregation.ReorderWindowBytes = agg.ReorderWindowBytes
 			}
 		}
 		for q := 0; q < m.queues; q++ {
@@ -433,6 +436,23 @@ func (m *Machine) SteerFlow(k netstack.FlowKey, hash uint32, cpu int) (*netstack
 	table.ClearFlowOwner(vk)
 	core.FlushFlow(m.rps, vk.Src, vk.Dst, vk.SrcPort, vk.DstPort)
 	return &vk, nil
+}
+
+// UnsteerFlow removes flow k's aRFS rule from the NIC and netback's
+// mirror (rule aging): the flow reverts to its bucket's indirection with
+// the standard handoff — dom0 pending aggregation state (including any
+// resequencing window) drained, the guest table's ownership override
+// cleared, coalesced interrupts kicked. No-op when no rule exists.
+func (m *Machine) UnsteerFlow(k netstack.FlowKey) {
+	t := nic.FlowTuple{Src: k.Src, Dst: k.Dst, SrcPort: k.SrcPort, DstPort: k.DstPort}
+	if _, ok := m.chanRules[t]; !ok {
+		return
+	}
+	delete(m.chanRules, t)
+	m.nics[m.nicOf(k)].RemoveFlowRule(t)
+	m.GuestStack.FlowTable().ClearFlowOwner(k)
+	core.FlushFlow(m.rps, k.Src, k.Dst, k.SrcPort, k.DstPort)
+	m.flushCoalescing()
 }
 
 // nicOf maps a flow to the NIC carrying its sender subnet (10.0.<n>.x).

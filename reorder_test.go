@@ -1,0 +1,120 @@
+package repro
+
+import "testing"
+
+// reorderStream runs the reorder acceptance workload: 200 zipf-skewed
+// flows over 8 links and the given queue count, with the deterministic
+// reorder injector displacing every 50th frame by one position (2%
+// adjacent swaps — the coalescing multi-queue pattern of Wu et al.).
+func reorderStream(t *testing.T, sys SystemKind, queues, window int) StreamResult {
+	t.Helper()
+	cfg := DefaultStreamConfig(sys, OptFull)
+	cfg.NICs = 8
+	cfg.Connections = 200
+	cfg.Queues = queues
+	cfg.FlowSkew = 1.1
+	cfg.Reorder = ReorderConfig{OneIn: 50, Distance: 1}
+	cfg.ReorderWindow = window
+	cfg.DurationNs = 30_000_000
+	cfg.WarmupNs = 15_000_000
+	res, err := RunStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReorderedFrames == 0 {
+		t.Fatal("injector never displaced a frame: test is vacuous")
+	}
+	return res
+}
+
+// TestReorderWindowRecoversAggregation is the acceptance check: under 2%
+// adjacent-swap reorder (200 zipf flows, 8 links, 4 queues), the windowed
+// engine must deliver strictly higher bytes/aggregate than the
+// flush-on-OOO baseline on both machines — and on the CPU-bound
+// configuration (the paravirtual pipeline at 2 channels) strictly higher
+// throughput too, with the TCP OOO-queue pressure visibly relieved.
+func TestReorderWindowRecoversAggregation(t *testing.T) {
+	for _, sys := range []SystemKind{SystemNativeUP, SystemXen} {
+		base := reorderStream(t, sys, 4, 0)
+		win := reorderStream(t, sys, 4, 4)
+
+		if base.AggStats.FlushMismatch == 0 {
+			t.Fatalf("%v: baseline saw no OOO mismatches — injector ineffective", sys)
+		}
+		bb := base.BytesPerAggregate()
+		wb := win.BytesPerAggregate()
+		if wb <= bb {
+			t.Errorf("%v: bytes/aggregate %.0f not above flush-on-OOO baseline %.0f", sys, wb, bb)
+		}
+		if win.ThroughputMbps < base.ThroughputMbps*0.995 {
+			t.Errorf("%v: windowed throughput regressed: %.0f → %.0f Mb/s",
+				sys, base.ThroughputMbps, win.ThroughputMbps)
+		}
+		// The window intercepts most of the reorder before the stack:
+		// mismatch flushes and OOO-queue insertions must both collapse.
+		if win.AggStats.FlushMismatch*2 > base.AggStats.FlushMismatch {
+			t.Errorf("%v: mismatch flushes %d → %d: window not absorbing the reorder",
+				sys, base.AggStats.FlushMismatch, win.AggStats.FlushMismatch)
+		}
+		if win.OOOSegs*2 > base.OOOSegs {
+			t.Errorf("%v: OOO-queue pressure %d → %d: window not relieving the stack",
+				sys, base.OOOSegs, win.OOOSegs)
+		}
+		if win.AggStats.Held == 0 || win.AggStats.Stitched == 0 {
+			t.Errorf("%v: window never engaged: %+v", sys, win.AggStats)
+		}
+		if win.AggStats.Held != win.AggStats.Stitched+win.AggStats.WindowTimeout {
+			t.Errorf("%v: held-frame accounting unbalanced: %+v", sys, win.AggStats)
+		}
+	}
+
+	// CPU-bound configuration: 2 paravirtual channels run at 100%
+	// utilization, so the recovered aggregation factor must buy real
+	// throughput, strictly and measurably.
+	base := reorderStream(t, SystemXen, 2, 0)
+	win := reorderStream(t, SystemXen, 2, 4)
+	if base.CPUUtil < 0.95 {
+		t.Fatalf("Xen 2-channel run not CPU-bound (util %.2f): throughput check is vacuous", base.CPUUtil)
+	}
+	if win.ThroughputMbps < base.ThroughputMbps*1.02 {
+		t.Errorf("CPU-bound windowed throughput %.0f not measurably above baseline %.0f Mb/s",
+			win.ThroughputMbps, base.ThroughputMbps)
+	}
+	if wb, bb := win.BytesPerAggregate(), base.BytesPerAggregate(); wb <= bb {
+		t.Errorf("CPU-bound bytes/aggregate %.0f not above baseline %.0f", wb, bb)
+	}
+}
+
+// TestReorderWindowIdleIdentical: with no reorder on the wire, enabling
+// the window must change nothing — in-order traffic never engages it, so
+// the run is bit-identical to the strict engine (the ReorderWindow=0
+// golden-compatibility contract, from the other side).
+func TestReorderWindowIdleIdentical(t *testing.T) {
+	for _, sys := range []SystemKind{SystemNativeUP, SystemXen} {
+		cfg := DefaultStreamConfig(sys, OptFull)
+		cfg.NICs = 4
+		cfg.Connections = 64
+		cfg.Queues = 2
+		cfg.FlowSkew = 1.1
+		cfg.DurationNs = 20_000_000
+		cfg.WarmupNs = 10_000_000
+		run := func(window int) StreamResult {
+			c := cfg
+			c.ReorderWindow = window
+			res, err := RunStream(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		off, on := run(0), run(8)
+		if off.ThroughputMbps != on.ThroughputMbps || off.Frames != on.Frames ||
+			off.CyclesPerPacket != on.CyclesPerPacket || off.CPUUtil != on.CPUUtil {
+			t.Errorf("%v: idle window diverges from strict engine: %.6f/%.6f Mb/s, %d/%d frames",
+				sys, off.ThroughputMbps, on.ThroughputMbps, off.Frames, on.Frames)
+		}
+		if on.AggStats.Held != 0 || on.AggStats.FlushWindowOverflow != 0 {
+			t.Errorf("%v: window engaged on in-order traffic: %+v", sys, on.AggStats)
+		}
+	}
+}

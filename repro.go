@@ -27,6 +27,7 @@ package repro
 import (
 	"fmt"
 
+	"repro/internal/aggregate"
 	"repro/internal/cost"
 	"repro/internal/cycles"
 	"repro/internal/memmodel"
@@ -91,6 +92,13 @@ type (
 	// SteerReport summarizes a run's steering activity (indirection
 	// moves, rule-table occupancy, app migrations).
 	SteerReport = sim.SteerReport
+	// ReorderConfig tunes the link-level reorder fault injector
+	// (adjacent swaps / k-distance displacement at a deterministic rate).
+	ReorderConfig = sim.ReorderConfig
+	// AggStats is one aggregation engine's counter set: flush-reason
+	// taxonomy (Limit/Mismatch/Idle/Evict/Steer/WindowOverflow) and
+	// resequencing-window activity (Held/Stitched/WindowTimeout).
+	AggStats = aggregate.Stats
 )
 
 // ParseSystem maps a CLI system name to its SystemKind: "up" (alias
