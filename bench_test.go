@@ -395,6 +395,38 @@ func BenchmarkReorder_WindowSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkTimeWait_RestartStorm measures the TIME_WAIT subsystem under
+// the restart-storm workload: half the flows torn down mid-measurement
+// and redialed on their own four-tuples (SYN-time reuse) against a
+// 50k-entry seeded backlog. Receive-path cycles/byte must stay at the
+// storm-free level — the deadline wheel charges per entry touched, never
+// per entry lingering.
+func BenchmarkTimeWait_RestartStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultStreamConfig(SystemNativeUP, OptFull)
+		cfg.NICs = 4
+		cfg.Connections = 80
+		cfg.Queues = 2
+		cfg.TimeWaitReuse = true
+		cfg.RestartStorm = RestartStormConfig{
+			AtNs:            35_000_000, // 10 ms into benchStream's measured interval
+			Fraction:        0.5,
+			PrefillTimeWait: 50_000,
+		}
+		res := benchStream(b, cfg)
+		b.ReportMetric(res.ThroughputMbps, "Mbps")
+		b.ReportMetric(res.CyclesPerByte(), "cyc/byte")
+		b.ReportMetric(float64(res.TimeWait.Peak), "tw_peak")
+		b.ReportMetric(float64(res.TimeWait.Reused), "tw_reused")
+		if i == 0 {
+			fmt.Printf("restart storm: tw peak %d (%.1f MiB), %d reaped, %d reused (%d refused), %d/%d reconnected, %.2f cyc/byte\n",
+				res.TimeWait.Peak, float64(res.TimeWait.PeakBytes)/(1<<20),
+				res.TimeWait.Reaped, res.TimeWait.Reused, res.TimeWait.ReuseRefused,
+				res.Storm.Reconnected, res.Storm.TornDown, res.CyclesPerByte())
+		}
+	}
+}
+
 // BenchmarkAblation_AggLimitOne checks §5.5: an Aggregation Limit of 1
 // (the engine on the path but never coalescing) must not degrade
 // performance relative to the baseline.

@@ -29,7 +29,7 @@ import (
 
 var (
 	experiment = flag.String("experiment", "all",
-		"experiment to run: all, fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, limit1, rss, churn, steer, smallmsg, reorder")
+		"experiment to run: all, fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, limit1, rss, churn, steer, smallmsg, reorder, restartstorm")
 	duration = flag.Duration("duration", 150*time.Millisecond, "measured virtual duration per run")
 	warmup   = flag.Duration("warmup", 40*time.Millisecond, "virtual warm-up before measurement")
 	sysFlag  = flag.String("sys", "up",
@@ -54,6 +54,7 @@ type runRecord struct {
 	ReorderOneIn      int            `json:"reorder_one_in,omitempty"`
 	ReorderDistance   int            `json:"reorder_distance,omitempty"`
 	ReorderWindow     int            `json:"reorder_window,omitempty"`
+	TimeWaitPrefill   int            `json:"timewait_prefill,omitempty"`
 	Mbps              float64        `json:"mbps"`
 	CPUUtil           float64        `json:"cpu_util"`
 	CyclesPerPacket   float64        `json:"cycles_per_packet"`
@@ -64,6 +65,10 @@ type runRecord struct {
 	OOOSegs           uint64         `json:"ooo_segs,omitempty"`
 	ReorderedFrames   uint64         `json:"reordered_frames,omitempty"`
 	Agg               repro.AggStats `json:"agg_stats"`
+	// TimeWait is the TIME_WAIT table summary (omitted when no flow
+	// ever lingered); Storm summarizes restart-storm activity.
+	TimeWait *repro.TimeWaitStats `json:"timewait,omitempty"`
+	Storm    *repro.StormReport   `json:"storm,omitempty"`
 }
 
 var (
@@ -85,29 +90,30 @@ func main() {
 	}
 
 	runners := map[string]func(){
-		"fig1":     fig1,
-		"fig2":     fig2,
-		"fig3":     fig3,
-		"fig4":     fig4,
-		"fig6":     fig6,
-		"fig7":     fig7,
-		"fig8":     func() { figOptBreakdown(repro.SystemNativeUP, "Figure 8: receive processing overheads (UP)", false) },
-		"fig9":     func() { figOptBreakdown(repro.SystemNativeSMP, "Figure 9: receive processing overheads (SMP)", false) },
-		"fig10":    func() { figOptBreakdown(repro.SystemXen, "Figure 10: receive processing overheads (Xen)", true) },
-		"fig11":    fig11,
-		"fig12":    fig12,
-		"table1":   table1,
-		"limit1":   limit1,
-		"rss":      rssScaling,
-		"churn":    churn,
-		"steer":    steerExperiment,
-		"smallmsg": smallMsg,
-		"reorder":  reorderExperiment,
+		"fig1":         fig1,
+		"fig2":         fig2,
+		"fig3":         fig3,
+		"fig4":         fig4,
+		"fig6":         fig6,
+		"fig7":         fig7,
+		"fig8":         func() { figOptBreakdown(repro.SystemNativeUP, "Figure 8: receive processing overheads (UP)", false) },
+		"fig9":         func() { figOptBreakdown(repro.SystemNativeSMP, "Figure 9: receive processing overheads (SMP)", false) },
+		"fig10":        func() { figOptBreakdown(repro.SystemXen, "Figure 10: receive processing overheads (Xen)", true) },
+		"fig11":        fig11,
+		"fig12":        fig12,
+		"table1":       table1,
+		"limit1":       limit1,
+		"rss":          rssScaling,
+		"churn":        churn,
+		"steer":        steerExperiment,
+		"smallmsg":     smallMsg,
+		"reorder":      reorderExperiment,
+		"restartstorm": restartStorm,
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7",
 			"fig8", "fig9", "fig10", "fig11", "fig12", "table1", "limit1", "rss", "churn",
-			"steer", "smallmsg", "reorder"} {
+			"steer", "smallmsg", "reorder", "restartstorm"} {
 			curExperiment = name
 			runners[name]()
 			fmt.Println()
@@ -172,9 +178,15 @@ func record(cfg repro.StreamConfig, res repro.StreamResult) {
 		OOOSegs:         res.OOOSegs,
 		ReorderedFrames: res.ReorderedFrames,
 		Agg:             res.AggStats,
+		Storm:           res.Storm,
+		TimeWaitPrefill: cfg.RestartStorm.PrefillTimeWait,
 
 		CyclesPerByte:     res.CyclesPerByte(),
 		BytesPerAggregate: res.BytesPerAggregate(),
+	}
+	if res.TimeWait.Entered > 0 {
+		tw := res.TimeWait
+		r.TimeWait = &tw
 	}
 	records = append(records, r)
 }
@@ -491,6 +503,42 @@ func reorderExperiment() {
 	}
 	fmt.Println("(window 0 is the strict flush-on-OOO engine; under swaps it degenerates toward Limit=1")
 	fmt.Println(" and the §5 per-packet savings evaporate — the window restores them)")
+}
+
+// restartStorm is the TIME_WAIT-at-scale experiment: half the flow
+// population torn down at one instant and redialed on the very same
+// four-tuples (SYN-time reuse against the lingering entries), swept
+// against a seeded TIME_WAIT backlog from 1k to 100k+ entries — far
+// beyond what the port space admits as live flows. The deadline-wheel
+// acceptance is a flat cycles/byte column: per-packet receive cost must
+// not grow with the lingering population (the seed's flat slice
+// rescanned all of it on every insert and sweep).
+func restartStorm() {
+	sys := benchSystem()
+	queues := benchQueues()
+	q := queues[len(queues)-1]
+	fmt.Printf("Restart storm (%s, 80 flows/4 links, %d queues; half torn down and redialed on their own ports, tw_reuse on)\n", sys, q)
+	fmt.Printf("%-9s %9s %9s %10s %9s %8s %8s %9s %10s\n",
+		"backlog", "Mb/s", "cyc/byte", "entered", "reaped", "reused", "refused", "peak", "lingering")
+	for _, prefill := range []int{1_000, 10_000, 50_000, 100_000} {
+		cfg := repro.DefaultStreamConfig(sys, repro.OptFull)
+		cfg.NICs = 4
+		cfg.Connections = 80
+		cfg.Queues = q
+		cfg.TimeWaitReuse = true
+		cfg.RestartStorm = repro.RestartStormConfig{
+			AtNs:            uint64(warmup.Nanoseconds()) + uint64(duration.Nanoseconds())/4,
+			Fraction:        0.5,
+			PrefillTimeWait: prefill,
+		}
+		res := stream(cfg)
+		tw := res.TimeWait
+		fmt.Printf("%-9d %9.0f %9.2f %10d %9d %8d %8d %9d %10d\n",
+			prefill, res.ThroughputMbps, res.CyclesPerByte(),
+			tw.Entered, tw.Reaped, tw.Reused, tw.ReuseRefused, tw.Peak, tw.Len)
+	}
+	fmt.Println("(flat cycles/byte as the backlog scales 1k -> 100k is the deadline-wheel acceptance:")
+	fmt.Println(" insert/reap charge per entry, never a scan of the lingering population)")
 }
 
 func limit1() {

@@ -37,6 +37,10 @@ var (
 	reorderOneIn = flag.Int("reorder", 0,
 		"displace every Nth forward frame on each link (the reorder fault injector; 0 = off)")
 	reorderDist = flag.Int("reorder-distance", 1, "reorder displacement distance in frames (1 = adjacent swap)")
+	churnEvery  = flag.Duration("churn", 0,
+		"tear down and replace the oldest flow at this interval (0 = no churn); teardowns linger in TIME_WAIT")
+	stormSize = flag.Int("storm", 0,
+		"fire a restart storm one quarter into the measured interval against this many seeded TIME_WAIT entries (0 = no storm; enables tw_reuse)")
 )
 
 func main() {
@@ -63,6 +67,15 @@ func main() {
 	cfg.DurationNs = uint64(duration.Nanoseconds())
 	cfg.ReorderWindow = *window
 	cfg.Reorder = repro.ReorderConfig{OneIn: *reorderOneIn, Distance: *reorderDist}
+	cfg.ChurnIntervalNs = uint64(churnEvery.Nanoseconds())
+	if *stormSize > 0 {
+		cfg.TimeWaitReuse = true
+		cfg.RestartStorm = repro.RestartStormConfig{
+			AtNs:            cfg.WarmupNs + cfg.DurationNs/4,
+			Fraction:        0.5,
+			PrefillTimeWait: *stormSize,
+		}
+	}
 	if *steer {
 		cfg.Steering = repro.SteerConfig{Enabled: true, ARFS: true}
 	}
@@ -82,6 +95,7 @@ func main() {
 	fmt.Print(profile.Bar("cycles/packet by category", res.Breakdown, cats, 50))
 	fmt.Println()
 	printShardStats(res)
+	printTimeWait(res)
 	if *steer {
 		fmt.Println()
 		printSteer(res)
@@ -117,6 +131,27 @@ func printAggEngines(res repro.StreamResult) {
 		row(fmt.Sprintf("%d", cpu), s)
 	}
 	row("total", res.AggStats)
+}
+
+// printTimeWait renders the TIME_WAIT table's occupancy and SYN-time
+// reuse activity (skipped when no flow ever lingered: churn- and
+// storm-free runs tear nothing down).
+func printTimeWait(res repro.StreamResult) {
+	tw := res.TimeWait
+	if tw.Entered == 0 {
+		return
+	}
+	fmt.Printf("TIME_WAIT: %d entered, %d reaped, %d reused (%d refused), peak %d (%.0f KiB), lingering %d\n",
+		tw.Entered, tw.Reaped, tw.Reused, tw.ReuseRefused,
+		tw.Peak, float64(tw.PeakBytes)/1024, tw.Len)
+	if res.Storm != nil {
+		fmt.Printf("restart storm: %d torn down, %d reconnected on their own ports, %d retries, %d open failures\n",
+			res.Storm.TornDown, res.Storm.Reconnected, res.Storm.Retries, res.Storm.OpenFailures)
+	}
+	if res.ChurnOpenFailures > 0 {
+		fmt.Printf("WARNING: %d churn ticks could not open a replacement (port space exhausted)\n",
+			res.ChurnOpenFailures)
+	}
 }
 
 // printSteer renders the run's steering state: policy activity, rule-table

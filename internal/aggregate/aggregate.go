@@ -113,10 +113,16 @@ type Stats struct {
 	// Resequencing-window activity. Held counts frames that entered the
 	// hold buffer; Stitched those that later joined an aggregate when
 	// the gap filled; WindowTimeout those drained undelivered-gap (idle
-	// flush, eviction, migration handoff, or a mismatch flush) and
-	// delivered as ordinary host packets. Held = Stitched + WindowTimeout
-	// + currently-held at all times.
+	// flush, eviction, migration handoff, or a mismatch flush).
+	// Held = Stitched + WindowTimeout + currently-held at all times.
 	Held, Stitched, WindowTimeout uint64
+	// Drain-time run stitching: contiguous held frames drained together
+	// leave as one aggregate instead of one host packet each.
+	// FlushHeldDrain counts those aggregates; DrainStitched the frames
+	// they absorbed beyond their heads (a subset of WindowTimeout, and
+	// counted in Coalesced like any other absorbed frame, preserving
+	// FramesIn = HostOut + Coalesced).
+	FlushHeldDrain, DrainStitched uint64
 
 	// Pass-through reasons (§3.1 rule failures).
 	RejNonIP, RejBadIPCsum, RejNoCsumOffload uint64
@@ -140,6 +146,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.Held += o.Held
 	s.Stitched += o.Stitched
 	s.WindowTimeout += o.WindowTimeout
+	s.FlushHeldDrain += o.FlushHeldDrain
+	s.DrainStitched += o.DrainStitched
 	s.RejNonIP += o.RejNonIP
 	s.RejBadIPCsum += o.RejBadIPCsum
 	s.RejNoCsumOffload += o.RejNoCsumOffload
@@ -520,13 +528,15 @@ func (e *Engine) matches(p *pending, th *tcpwire.Header) bool {
 	return true
 }
 
-// start opens a new pending aggregate seeded with this frame.
-func (e *Engine) start(key FlowKey, f nic.Frame, ih *ipv4.Header, th *tcpwire.Header, payloadLen int) {
+// newPending builds the pending-aggregate state seeded by one parsed
+// frame. Shared by start and stitchDrainRun so the two construction
+// sites cannot drift when pending grows a field.
+func (e *Engine) newPending(key FlowKey, f nic.Frame, ih *ipv4.Header, th *tcpwire.Header, payloadLen int) *pending {
 	skb := e.alloc.NewData(f.Data, ether.HeaderLen)
 	skb.CsumVerified = true
 	skb.RSSHash = f.RSSHash
 	skb.FirstAck = th.Ack
-	p := &pending{
+	return &pending{
 		key:     key,
 		skb:     skb,
 		count:   1,
@@ -539,6 +549,11 @@ func (e *Engine) start(key FlowKey, f nic.Frame, ih *ipv4.Header, th *tcpwire.He
 		l4off:   ether.HeaderLen + ih.IHL,
 		dataOff: th.DataOff,
 	}
+}
+
+// start opens a new pending aggregate seeded with this frame.
+func (e *Engine) start(key FlowKey, f nic.Frame, ih *ipv4.Header, th *tcpwire.Header, payloadLen int) {
+	p := e.newPending(key, f, ih, th, payloadLen)
 	if e.cfg.Limit == 1 {
 		// Degenerate configuration: deliver immediately (§5.5).
 		e.stats.FlushLimit++
@@ -659,14 +674,78 @@ func (e *Engine) deliver(p *pending) {
 }
 
 // drainHeldSlice delivers parked frames whose gap never filled, in
-// sequence order, each as an ordinary host packet. The stack's
-// out-of-order queue absorbs them exactly as it would have without the
-// window.
+// sequence order. Contiguous held runs leave as one aggregate — a
+// k-distance displacement parks k contiguous successors behind one gap,
+// and delivering each as its own host packet would hand the stack (and
+// on the paravirtual path, netback/netfront) per-packet cost the window
+// existed to avoid. Isolated frames pass through unmodified as before.
+// Every drained frame still counts as WindowTimeout (it left the window
+// undelivered-gap), so Held = Stitched + WindowTimeout + parked holds;
+// run stitching shows up additionally as FlushHeldDrain/DrainStitched.
+// The stack's out-of-order queue absorbs the result exactly as it would
+// have absorbed the individual frames.
 func (e *Engine) drainHeldSlice(held []heldFrame) {
-	for _, hf := range held {
-		e.stats.WindowTimeout++
-		e.passthrough(hf.frame)
+	for i := 0; i < len(held); {
+		// Extend the run while frames are exactly consecutive, the ACK
+		// stays monotone (§3.1), and the Aggregation Limit admits more.
+		j := i + 1
+		for j < len(held) && j-i < e.cfg.Limit &&
+			held[j].seq == held[j-1].seq+uint32(held[j-1].payloadLen) &&
+			seqGEQ(held[j].ack, held[j-1].ack) {
+			j++
+		}
+		if j-i == 1 {
+			e.stats.WindowTimeout++
+			e.passthrough(held[i].frame)
+		} else {
+			e.stitchDrainRun(held[i:j])
+		}
+		i = j
 	}
+}
+
+// stitchDrainRun delivers one contiguous held run as a single aggregate:
+// the head frame's headers are reparsed (hold time kept only the stitch
+// fields), the rest attach as fragments, and the §3.2 header rewrite in
+// deliver makes the usual aggregate of it. The per-aggregate overhead is
+// charged by deliver like any other flush; the per-frame costs were paid
+// at Input and hold time.
+func (e *Engine) stitchDrainRun(run []heldFrame) {
+	head := run[0]
+	l3 := head.frame.Data[ether.HeaderLen:]
+	ih, err := ipv4.Parse(l3)
+	var th tcpwire.Header
+	if err == nil {
+		th, err = tcpwire.Parse(l3[ih.IHL:ih.TotalLen])
+	}
+	if err != nil {
+		// Defensive: a held frame parsed at hold time, so this cannot
+		// happen; degrade to per-frame passthrough rather than drop.
+		for _, hf := range run {
+			e.stats.WindowTimeout++
+			e.passthrough(hf.frame)
+		}
+		return
+	}
+	key := FlowKey{Src: ih.Src, Dst: ih.Dst, SrcPort: th.SrcPort, DstPort: th.DstPort}
+	p := e.newPending(key, head.frame, &ih, &th, head.payloadLen)
+	e.stats.WindowTimeout++
+	for _, hf := range run[1:] {
+		e.alloc.AttachFrag(p.skb, buf.Frag{Data: hf.payload(), Ack: hf.ack, TSVal: hf.tsVal})
+		p.count++
+		p.nextSeq = hf.seq + uint32(hf.payloadLen)
+		p.lastAck = hf.ack
+		p.lastWin = hf.win
+		p.lastTS = hf.tsVal
+		p.lastTSE = hf.tsEcr
+		e.stats.WindowTimeout++
+		e.stats.DrainStitched++
+		e.stats.Coalesced++
+	}
+	e.stats.FlushHeldDrain++
+	// p never entered the table and carries no window of its own, so
+	// deliver cannot recurse back here.
+	e.deliver(p)
 }
 
 // rewriteHeader performs the §3.2 rewrite on the head frame in place:

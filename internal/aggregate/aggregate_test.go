@@ -564,7 +564,9 @@ func TestReorderByteSpanBound(t *testing.T) {
 // TestReorderIdleFlushDrainsHeldInOrder: when the queue goes idle before
 // the gap fills, FlushAll delivers the aggregate first and then the held
 // frames in sequence order (work conservation: nothing outlives the
-// flush), counted as WindowTimeout.
+// flush), counted as WindowTimeout. The two held frames are contiguous
+// with each other (only the gap in front never filled), so they drain as
+// one stitched aggregate rather than two host packets.
 func TestReorderIdleFlushDrainsHeldInOrder(t *testing.T) {
 	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 4})
 	defer e.freeOut()
@@ -572,10 +574,10 @@ func TestReorderIdleFlushDrainsHeldInOrder(t *testing.T) {
 	e.eng.Input(flowFrame(1+3*1448, 1, 1448, nil)) // held, out of order
 	e.eng.Input(flowFrame(1+2*1448, 1, 1448, nil)) // held, sorts before
 	e.eng.FlushAll()
-	if len(e.out) != 3 {
-		t.Fatalf("host packets = %d, want 3", len(e.out))
+	if len(e.out) != 2 {
+		t.Fatalf("host packets = %d, want 2 (head + stitched drain run)", len(e.out))
 	}
-	// Aggregate (head) first, then held frames by ascending sequence.
+	// Aggregate (head) first, then the drained run in sequence order.
 	seqOf := func(s *buf.SKB) uint32 {
 		th, err := tcpwire.Parse(s.L3()[20:])
 		if err != nil {
@@ -586,15 +588,92 @@ func TestReorderIdleFlushDrainsHeldInOrder(t *testing.T) {
 	if e.out[0].NetPackets != 1 || seqOf(e.out[0]) != 1 {
 		t.Error("aggregate head not delivered first")
 	}
-	if seqOf(e.out[1]) != 1+2*1448 || seqOf(e.out[2]) != 1+3*1448 {
-		t.Error("held frames not drained in sequence order")
+	if e.out[1].NetPackets != 2 || seqOf(e.out[1]) != 1+2*1448 {
+		t.Errorf("drain run shape: %d packets at seq %d", e.out[1].NetPackets, seqOf(e.out[1]))
 	}
 	st := e.eng.Stats()
-	if st.Held != 2 || st.WindowTimeout != 2 || st.Stitched != 0 {
+	if st.Held != 2 || st.WindowTimeout != 2 || st.Stitched != 0 ||
+		st.FlushHeldDrain != 1 || st.DrainStitched != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+	if st.FramesIn != st.HostOut+st.Coalesced {
+		t.Errorf("frame conservation broken: %+v", st)
 	}
 	if e.eng.HeldFrames() != 0 || e.eng.PendingFlows() != 0 {
 		t.Error("window not empty after FlushAll")
+	}
+}
+
+// TestDrainStitchRunPayload: a drained run's aggregate carries the §3.2
+// rewrite — total length spanning the run, last fragment's ACK/window —
+// and byte-exact in-sequence payload.
+func TestDrainStitchRunPayload(t *testing.T) {
+	e := newEnv(t, Config{Limit: 20, TableSize: 16, ReorderWindow: 8})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	// A 3-distance displacement: frames 3,4,5 arrive while 2 is delayed.
+	for _, i := range []int{2, 3, 4} {
+		e.eng.Input(flowFrame(uint32(1+i*1448), uint32(1+100*i), 1448, nil))
+	}
+	e.eng.FlushAll() // gap never fills
+	if len(e.out) != 2 {
+		t.Fatalf("host packets = %d, want 2", len(e.out))
+	}
+	run := e.out[1]
+	if run.NetPackets != 3 || !run.Aggregated {
+		t.Fatalf("drain run: %d packets, aggregated=%v", run.NetPackets, run.Aggregated)
+	}
+	var got bytes.Buffer
+	got.Write(run.L3()[20+32 : 20+32+1448])
+	for _, f := range run.Frags {
+		got.Write(f.Data)
+	}
+	want := make([]byte, 3*1448)
+	for i := range want {
+		seq := uint32(1 + (2+i/1448)*1448)
+		want[i] = byte(seq + uint32(i%1448))
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Error("drain run payload not byte-exact in sequence order")
+	}
+	th, err := tcpwire.Parse(run.L3()[20:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Ack != 1+100*4 {
+		t.Errorf("rewritten ACK = %d, want the last fragment's %d", th.Ack, 1+100*4)
+	}
+	st := e.eng.Stats()
+	if st.WindowTimeout != 3 || st.FlushHeldDrain != 1 || st.DrainStitched != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDrainStitchRespectsGapsAndLimit: non-contiguous held frames split
+// into separate deliveries, and a run longer than the Aggregation Limit
+// is capped like any aggregate.
+func TestDrainStitchRespectsGapsAndLimit(t *testing.T) {
+	e := newEnv(t, Config{Limit: 2, TableSize: 16, ReorderWindow: 8})
+	defer e.freeOut()
+	e.eng.Input(flowFrame(1, 1, 1448, nil))
+	// Held: 2,3,4 contiguous; 6 isolated (gap at 5).
+	for _, i := range []int{2, 3, 4, 6} {
+		e.eng.Input(flowFrame(uint32(1+i*1448), 1, 1448, nil))
+	}
+	e.eng.FlushAll()
+	// Head, run(2,3) capped by Limit=2, lone 4, lone 6.
+	if len(e.out) != 4 {
+		t.Fatalf("host packets = %d, want 4", len(e.out))
+	}
+	if e.out[1].NetPackets != 2 || e.out[2].NetPackets != 1 || e.out[3].NetPackets != 1 {
+		t.Errorf("shapes: %d/%d/%d", e.out[1].NetPackets, e.out[2].NetPackets, e.out[3].NetPackets)
+	}
+	st := e.eng.Stats()
+	if st.WindowTimeout != 4 || st.FlushHeldDrain != 1 || st.DrainStitched != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.FramesIn != st.HostOut+st.Coalesced {
+		t.Errorf("frame conservation broken: %+v", st)
 	}
 }
 

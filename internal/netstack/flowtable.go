@@ -117,8 +117,14 @@ func (t *FlowTable) Insert(k FlowKey, ep *tcp.Endpoint) error {
 // Has reports whether k is registered, without touching any delivery
 // counter (control-path existence check).
 func (t *FlowTable) Has(k FlowKey) bool {
-	_, ok := t.shards[t.ShardOf(k)].conns[k]
-	return ok
+	return t.Peek(k) != nil
+}
+
+// Peek returns the endpoint bound to k without touching any delivery
+// counter (control-path lookup — teardown snapshots endpoint state
+// through it), or nil.
+func (t *FlowTable) Peek(k FlowKey) *tcp.Endpoint {
+	return t.shards[t.ShardOf(k)].conns[k]
 }
 
 // Remove unregisters the endpoint bound to k, reporting whether it

@@ -40,9 +40,14 @@ type Stats struct {
 	HostPacketsOut uint64
 	SoftCsumVerify uint64
 	// TimeWaitEntered counts flows moved into the TIME_WAIT table after
-	// teardown; TimeWaitReaped counts expiries that unregistered them.
-	TimeWaitEntered uint64
-	TimeWaitReaped  uint64
+	// teardown; TimeWaitReaped counts expiries that unregistered them;
+	// TimeWaitReused counts lingering entries recycled by SYN-time port
+	// reuse, and TimeWaitReuseRefused the reuse attempts the RFC 6191
+	// admissibility check turned away.
+	TimeWaitEntered      uint64
+	TimeWaitReaped       uint64
+	TimeWaitReused       uint64
+	TimeWaitReuseRefused uint64
 }
 
 // Stack is one network namespace: an IP layer with a sharded TCP demux
@@ -66,16 +71,9 @@ type Stack struct {
 	// consumes, cpu the softirq CPU that delivered (-1 = unattributed).
 	OnSockRead func(key FlowKey, hash uint32, appCPU, cpu int)
 
-	table    *FlowTable
-	timeWait []twEntry
-	stats    Stats
-}
-
-// twEntry is one TIME_WAIT table entry: a torn-down flow whose demux
-// entry lingers (ACKing retransmitted FINs) until the deadline passes.
-type twEntry struct {
-	key      FlowKey
-	deadline uint64
+	table *FlowTable
+	tw    *timeWaitTable
+	stats Stats
 }
 
 // New creates an empty stack charging m under p, with the default shard
@@ -98,7 +96,9 @@ func NewSharded(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, shards in
 	if err != nil {
 		return nil, err
 	}
-	return &Stack{meter: m, params: p, alloc: alloc, table: t}, nil
+	// The TIME_WAIT table shares the flow table's sharding, so a flow's
+	// lingering entry lives on the same softirq CPU as its demux entry.
+	return &Stack{meter: m, params: p, alloc: alloc, table: t, tw: newTimeWaitTable(t.Shards())}, nil
 }
 
 // Stats returns a copy of the stack counters.
@@ -138,54 +138,6 @@ func (s *Stack) Unregister(remoteIP, localIP ipv4.Addr, remotePort, localPort ui
 
 // Endpoints returns the number of registered endpoints.
 func (s *Stack) Endpoints() int { return s.table.Len() }
-
-// EnterTimeWait moves the flow keyed by the given addressing into the
-// TIME_WAIT table: its demux entry stays live — a retransmitted FIN must
-// still find the endpoint and be ACKed — but the flow is scheduled for
-// unregistration once deadline passes (the 2·MSL linger, scaled to
-// simulation time). It reports false when the flow is not registered or
-// already waiting.
-func (s *Stack) EnterTimeWait(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16, deadline uint64) bool {
-	k := FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
-	if !s.table.Has(k) {
-		return false
-	}
-	for _, e := range s.timeWait {
-		if e.key == k {
-			return false
-		}
-	}
-	s.timeWait = append(s.timeWait, twEntry{key: k, deadline: deadline})
-	s.stats.TimeWaitEntered++
-	return true
-}
-
-// ReapTimeWait unregisters every TIME_WAIT flow whose deadline has passed
-// at virtual time now, returning the reaped keys (the caller releases any
-// peer-side state keyed on them). Teardown is receive-path work: each reap
-// charges the demux-table update like any other non-proto mutation.
-func (s *Stack) ReapTimeWait(now uint64) []FlowKey {
-	if len(s.timeWait) == 0 {
-		return nil
-	}
-	var reaped []FlowKey
-	live := s.timeWait[:0]
-	for _, e := range s.timeWait {
-		if now >= e.deadline {
-			s.meter.Charge(cycles.NonProto, s.params.LockCost(1))
-			s.table.Remove(e.key)
-			s.stats.TimeWaitReaped++
-			reaped = append(reaped, e.key)
-		} else {
-			live = append(live, e)
-		}
-	}
-	s.timeWait = live
-	return reaped
-}
-
-// TimeWaitLen returns the number of flows lingering in TIME_WAIT.
-func (s *Stack) TimeWaitLen() int { return len(s.timeWait) }
 
 // Input receives one host packet (plain or aggregated SKB) from the driver
 // or the aggregation engine, runs IP receive processing and the non-proto

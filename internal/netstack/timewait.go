@@ -1,0 +1,396 @@
+package netstack
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/ipv4"
+	"repro/internal/tcp"
+)
+
+// This file implements the TIME_WAIT subsystem: the table of torn-down
+// flows whose demux entries linger for 2·MSL so retransmitted FINs still
+// find an endpoint to ACK, plus SYN-time port reuse against those
+// lingering entries (RFC 6191 / Linux tcp_tw_reuse).
+//
+// The structure is scale-honest. A production restart storm leaves
+// hundreds of thousands of entries lingering at once, so the flat slice
+// the table used to be — an O(n) duplicate scan on every insert and a
+// full-slice sweep on every reap — would melt exactly the receive path
+// the paper's argument (and this repo's sharding) protects: per-packet
+// work must not grow with connection-table population ("Algorithms and
+// Data Structures to Accelerate Network Analysis", Ros-Giralt et al.).
+// Instead the table is sharded by the same RSS bucket as the flow table
+// (the one softirq CPU that owns a flow's demux shard also owns its
+// TIME_WAIT entry), and each shard keeps
+//
+//   - a map keyed by four-tuple: O(1) duplicate detection at insert and
+//     O(1) collision lookup at SYN time, and
+//   - a hashed deadline wheel (twWheelSlots slots of twTickNs): insert
+//     links the entry into the slot its deadline falls in, kept
+//     deadline-sorted, and a reap sweep walks only the slots whose tick
+//     has elapsed — and within each, only the due prefix plus one
+//     boundary probe (sorted order means the first not-yet-due entry
+//     ends the slot's work; later-lap entries hashed into the same slot
+//     are never inspected). O(1) amortized per entry, independent of
+//     how many entries linger.
+//
+// Cycle charges scale with the real touches (entry init, bucket link,
+// map update, demux removal), priced through the machine's memory model
+// like every other per-packet cost, instead of the single flat lock
+// charge the slice implementation made.
+
+const (
+	// twWheelSlots is the number of deadline-wheel slots per shard; with
+	// twTickNs granularity the wheel spans slots×tick before an entry
+	// shares a slot with a later lap (handled by the per-entry deadline
+	// check, never by extra scans).
+	twWheelSlots = 32
+	// twTickNs is the wheel granularity. Reaping is quantized to it: an
+	// entry is reclaimed on the first sweep after its deadline's tick has
+	// fully elapsed (TIME_WAIT expiry needs no better precision).
+	twTickNs = 1_000_000
+)
+
+// TimeWaitEntryBytes models the memory footprint of one lingering entry
+// — a Linux tcp_timewait_sock is a ~200-byte shadow of the socket
+// (demux keys, deadline link, final sequence/timestamp state). It sizes
+// the occupancy report and prices the entry-init stream at insert
+// through the machine's memory model.
+const TimeWaitEntryBytes = 192
+
+// twEntry is one TIME_WAIT entry: the lingering four-tuple, its reap
+// deadline, and the old incarnation's final receive state that the
+// RFC 6191 reuse-admissibility check compares a reconnect against.
+type twEntry struct {
+	key      FlowKey
+	deadline uint64
+	lastTS   uint32 // last peer TSVal the old incarnation echoed
+	rcvNxt   uint32 // next sequence the old incarnation expected
+	// dead marks an entry recycled by SYN-time reuse: it has already
+	// left the map and the live count, and its wheel link is dropped
+	// whenever its slot is next swept (O(1) unlink without scanning the
+	// slot at reuse time).
+	dead bool
+}
+
+// twShard is one shard of the table: the entries whose RSS hash falls in
+// the shard's buckets, owned by the same softirq CPU as the flow-table
+// shard of the same index.
+type twShard struct {
+	entries map[FlowKey]*twEntry
+	wheel   [twWheelSlots][]*twEntry
+	cursor  uint64 // next wheel tick not yet swept
+	live    int    // entries excluding tombstones
+	tombs   int    // dead entries still linked in wheel slots
+}
+
+// TimeWaitStats summarizes the table.
+type TimeWaitStats struct {
+	// Entered counts insertions (real teardowns and seeded backlog);
+	// Reaped counts deadline expiries; Reused counts entries recycled by
+	// SYN-time port reuse; ReuseRefused counts reconnects the
+	// admissibility check turned away. At all times
+	// Entered = Reaped + Reused + Len.
+	Entered, Reaped, Reused, ReuseRefused uint64
+	// Len is the current number of lingering entries, Peak the run's
+	// high-water mark, and Bytes/PeakBytes their modeled footprint
+	// (TimeWaitEntryBytes each).
+	Len, Peak        int
+	Bytes, PeakBytes uint64
+}
+
+// timeWaitTable is the sharded deadline wheel.
+type timeWaitTable struct {
+	shards []twShard
+	live   int
+	peak   int
+
+	entered, reaped, reused, refused uint64
+}
+
+func newTimeWaitTable(shards int) *timeWaitTable {
+	return &timeWaitTable{shards: make([]twShard, shards)}
+}
+
+// insert links a new entry, reporting false on a live duplicate.
+func (t *timeWaitTable) insert(shard int, e *twEntry) bool {
+	sh := &t.shards[shard]
+	if sh.entries == nil {
+		sh.entries = make(map[FlowKey]*twEntry)
+	}
+	if _, dup := sh.entries[e.key]; dup {
+		return false
+	}
+	tick := e.deadline / twTickNs
+	if sh.live == 0 || tick < sh.cursor {
+		// An empty shard's cursor is stale; a deadline already due slots
+		// behind the cursor and must pull it back or it would wait a
+		// full wheel lap.
+		sh.cursor = tick
+	}
+	// Keep the slot deadline-sorted so reaping can stop at the first
+	// not-yet-due entry. Deadlines arrive (near-)monotone — now + a
+	// fixed linger, or a monotone seeded spread — so the scan from the
+	// back is O(1) in practice.
+	slot := tick % twWheelSlots
+	b := append(sh.wheel[slot], e)
+	for i := len(b) - 1; i > 0 && b[i-1].deadline > b[i].deadline; i-- {
+		b[i-1], b[i] = b[i], b[i-1]
+	}
+	sh.wheel[slot] = b
+	sh.entries[e.key] = e
+	sh.live++
+	t.live++
+	if t.live > t.peak {
+		t.peak = t.live
+	}
+	t.entered++
+	return true
+}
+
+// lookup returns the live entry for k, or nil.
+func (t *timeWaitTable) lookup(shard int, k FlowKey) *twEntry {
+	return t.shards[shard].entries[k]
+}
+
+// recycle removes an entry at SYN-time reuse: out of the map and the
+// live count immediately, tombstoned in its wheel slot.
+func (t *timeWaitTable) recycle(shard int, e *twEntry) {
+	sh := &t.shards[shard]
+	delete(sh.entries, e.key)
+	e.dead = true
+	sh.live--
+	sh.tombs++
+	t.live--
+	t.reused++
+}
+
+// reap sweeps every shard's elapsed wheel ticks, invoking each for every
+// entry whose deadline has passed. Only slots whose tick elapsed are
+// touched, a slot is walked at most once per sweep (ticks repeat with
+// period twWheelSlots, so a sweep that fell behind clamps to one lap),
+// and within a slot only the deadline-sorted due prefix is consumed —
+// the first not-yet-due entry ends the slot, so later-lap entries
+// hashed into it are never inspected. Tombstones are dropped as their
+// deadlines come due (or wholesale once the shard has no live entry).
+func (t *timeWaitTable) reap(now uint64, each func(*twEntry)) {
+	nowTick := now / twTickNs
+	for si := range t.shards {
+		sh := &t.shards[si]
+		if sh.live == 0 {
+			if sh.tombs > 0 {
+				// Every remaining link is a tombstone: drop them all
+				// rather than waiting for their slots' ticks.
+				for i := range sh.wheel {
+					sh.wheel[i] = nil
+				}
+				sh.tombs = 0
+			}
+			sh.cursor = nowTick
+			continue
+		}
+		if sh.cursor >= nowTick {
+			continue
+		}
+		start := sh.cursor
+		if nowTick-start > twWheelSlots {
+			start = nowTick - twWheelSlots
+		}
+		for tick := start; tick < nowTick; tick++ {
+			b := sh.wheel[tick%twWheelSlots]
+			if len(b) == 0 {
+				continue
+			}
+			due := 0
+			for due < len(b) && now >= b[due].deadline {
+				e := b[due]
+				due++
+				if e.dead {
+					sh.tombs--
+					continue
+				}
+				delete(sh.entries, e.key)
+				sh.live--
+				t.live--
+				t.reaped++
+				each(e)
+			}
+			if due > 0 {
+				// Shift the (typically short) remainder down so the due
+				// prefix's entries are collectable.
+				n := copy(b, b[due:])
+				for i := n; i < len(b); i++ {
+					b[i] = nil
+				}
+				sh.wheel[tick%twWheelSlots] = b[:n]
+			}
+		}
+		sh.cursor = nowTick
+	}
+}
+
+// stats assembles the aggregate summary.
+func (t *timeWaitTable) stats() TimeWaitStats {
+	return TimeWaitStats{
+		Entered:      t.entered,
+		Reaped:       t.reaped,
+		Reused:       t.reused,
+		ReuseRefused: t.refused,
+		Len:          t.live,
+		Peak:         t.peak,
+		Bytes:        uint64(t.live) * TimeWaitEntryBytes,
+		PeakBytes:    uint64(t.peak) * TimeWaitEntryBytes,
+	}
+}
+
+// chargeTWInsert prices one entry insertion: the entry init streams
+// through the store buffer; linking it into the wheel slot and the shard
+// map chases two cold lines.
+func (s *Stack) chargeTWInsert() {
+	s.meter.Charge(cycles.NonProto,
+		s.params.Mem.SequentialWriteCost(TimeWaitEntryBytes)+
+			s.params.Mem.RandomTouchCost(2)+
+			s.params.LockCost(1))
+}
+
+// chargeTWRemove prices taking one entry out (deadline reap or SYN-time
+// recycle): the entry and its map bucket are cold by now (two dependent
+// line misses), plus the demux-table mutation when the flow was still
+// registered.
+func (s *Stack) chargeTWRemove(registered bool) {
+	lines := 2
+	if registered {
+		lines++
+	}
+	s.meter.Charge(cycles.NonProto,
+		s.params.Mem.RandomTouchCost(lines)+s.params.LockCost(1))
+}
+
+// EnterTimeWait moves the flow keyed by the given addressing into the
+// TIME_WAIT table: its demux entry stays live — a retransmitted FIN must
+// still find the endpoint and be ACKed — but the flow is scheduled for
+// unregistration once deadline passes (the 2·MSL linger, scaled to
+// simulation time). The endpoint's final receive state (TS.Recent,
+// RCV.NXT) is snapshotted into the entry for the SYN-time reuse
+// admissibility check. It reports false when the flow is not registered
+// or already waiting.
+func (s *Stack) EnterTimeWait(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16, deadline uint64) bool {
+	k := FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
+	ep := s.table.Peek(k)
+	if ep == nil {
+		return false
+	}
+	e := &twEntry{key: k, deadline: deadline, lastTS: ep.TSRecent(), rcvNxt: ep.RcvNxt()}
+	if !s.tw.insert(s.table.ShardOf(k), e) {
+		return false
+	}
+	s.stats.TimeWaitEntered++
+	s.chargeTWInsert()
+	return true
+}
+
+// SeedTimeWait inserts a lingering entry with no live endpoint behind it
+// — the restart-storm backlog of a server whose previous process left
+// far more TIME_WAIT incarnations than it has live flows. Seeded entries
+// age, reap and recycle exactly like real ones (the demux removal at
+// reap is simply a no-op); lastTS and rcvNxt seed the reuse check. It
+// reports false on a duplicate.
+func (s *Stack) SeedTimeWait(k FlowKey, deadline uint64, lastTS, rcvNxt uint32) bool {
+	e := &twEntry{key: k, deadline: deadline, lastTS: lastTS, rcvNxt: rcvNxt}
+	if !s.tw.insert(s.table.ShardOf(k), e) {
+		return false
+	}
+	s.stats.TimeWaitEntered++
+	s.chargeTWInsert()
+	return true
+}
+
+// ReuseVerdict is the outcome of a SYN-time port-reuse attempt.
+type ReuseVerdict int
+
+const (
+	// ReuseNone: no lingering entry for the four-tuple (nothing to
+	// recycle; the connection proceeds as a normal open).
+	ReuseNone ReuseVerdict = iota
+	// ReuseGranted: the lingering incarnation was recycled; its demux
+	// entry is gone and the four-tuple is free.
+	ReuseGranted
+	// ReuseRefused: a lingering entry exists but the admissibility check
+	// failed (old-incarnation segments could still be in flight); the
+	// caller must wait for the deadline reap or retry later.
+	ReuseRefused
+)
+
+// ReuseTimeWait attempts SYN-time port reuse for a new connection whose
+// four-tuple collides with a lingering TIME_WAIT entry (Linux
+// tcp_tw_reuse). isn and tsVal are the new connection's initial sequence
+// number and first timestamp; admissibility follows RFC 6191 (strictly
+// newer timestamp, or sequence beyond the old incarnation's RCV.NXT —
+// see tcp.ReuseAdmissible). On grant the entry is recycled and the old
+// incarnation's demux entry removed, so the caller can register the new
+// endpoint immediately. Refusals are counted: a production stack
+// surfaces them as reconnect latency.
+func (s *Stack) ReuseTimeWait(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16, isn, tsVal uint32) ReuseVerdict {
+	k := FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
+	shard := s.table.ShardOf(k)
+	e := s.tw.lookup(shard, k)
+	if e == nil {
+		return ReuseNone
+	}
+	// Reading the lingering entry's final state is a cold touch either
+	// way the verdict goes.
+	s.meter.Charge(cycles.NonProto, s.params.Mem.RandomTouchCost(1))
+	if !tcp.ReuseAdmissible(e.lastTS, tsVal, e.rcvNxt, isn) {
+		s.tw.refused++
+		s.stats.TimeWaitReuseRefused++
+		return ReuseRefused
+	}
+	s.tw.recycle(shard, e)
+	registered := s.table.Remove(k)
+	s.chargeTWRemove(registered)
+	s.stats.TimeWaitReused++
+	return ReuseGranted
+}
+
+// TimeWaitHas reports whether the four-tuple lingers in TIME_WAIT
+// (control-path check, no charge).
+func (s *Stack) TimeWaitHas(remoteIP, localIP ipv4.Addr, remotePort, localPort uint16) bool {
+	k := FlowKey{Src: remoteIP, Dst: localIP, SrcPort: remotePort, DstPort: localPort}
+	return s.tw.lookup(s.table.ShardOf(k), k) != nil
+}
+
+// ReapTimeWait unregisters every TIME_WAIT flow whose deadline tick has
+// elapsed at virtual time now, returning the reaped keys (the caller
+// releases any peer-side state keyed on them). Teardown is receive-path
+// work: each reap charges the wheel unlink, map delete and demux-table
+// update like any other non-proto mutation — and nothing else, however
+// many entries still linger.
+func (s *Stack) ReapTimeWait(now uint64) []FlowKey {
+	var reaped []FlowKey
+	s.tw.reap(now, func(e *twEntry) {
+		registered := s.table.Remove(e.key)
+		s.chargeTWRemove(registered)
+		s.stats.TimeWaitReaped++
+		reaped = append(reaped, e.key)
+	})
+	return reaped
+}
+
+// TimeWaitLen returns the number of flows lingering in TIME_WAIT.
+func (s *Stack) TimeWaitLen() int { return s.tw.live }
+
+// TimeWaitStats returns the TIME_WAIT table summary.
+func (s *Stack) TimeWaitStats() TimeWaitStats { return s.tw.stats() }
+
+// TimeWaitOccupancy returns the lingering-entry count per shard (a fresh
+// slice; shard index matches the flow table's).
+func (s *Stack) TimeWaitOccupancy() []int {
+	occ := make([]int, len(s.tw.shards))
+	for i := range s.tw.shards {
+		occ[i] = s.tw.shards[i].live
+	}
+	return occ
+}
+
+// TimeWaitShardOf returns the shard index owning k — the same shard (and
+// therefore softirq CPU) as the flow table's, by construction.
+func (s *Stack) TimeWaitShardOf(k FlowKey) int { return s.table.ShardOf(k) }

@@ -1,0 +1,289 @@
+package netstack
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/cost"
+	"repro/internal/cycles"
+	"repro/internal/ipv4"
+	"repro/internal/tcp"
+)
+
+// twRig is a stack with a handful of registered endpoints for driving
+// the TIME_WAIT table directly.
+type twRig struct {
+	stack *Stack
+	meter *cycles.Meter
+	keys  []FlowKey
+}
+
+func newTWRig(t *testing.T, flows int) *twRig {
+	t.Helper()
+	var m cycles.Meter
+	params := cost.NativeUP()
+	alloc := buf.NewAllocator(&m, &params)
+	r := &twRig{stack: New(&m, &params, alloc), meter: &m}
+	for i := 0; i < flows; i++ {
+		remote := ipv4.Addr{10, 0, byte(i / 200), 1}
+		local := ipv4.Addr{10, 0, byte(i / 200), 2}
+		rp, lp := uint16(5001+i%200), uint16(44000+i%200)
+		cfg := tcp.DefaultConfig()
+		cfg.LocalIP, cfg.RemoteIP = local, remote
+		cfg.LocalPort, cfg.RemotePort = lp, rp
+		ep, err := tcp.New(cfg, &m, &params, alloc, func() uint64 { return 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.stack.Register(ep, remote, local, rp, lp); err != nil {
+			t.Fatal(err)
+		}
+		r.keys = append(r.keys, FlowKey{Src: remote, Dst: local, SrcPort: rp, DstPort: lp})
+	}
+	return r
+}
+
+func (r *twRig) enter(i int, deadline uint64) bool {
+	k := r.keys[i]
+	return r.stack.EnterTimeWait(k.Src, k.Dst, k.SrcPort, k.DstPort, deadline)
+}
+
+func TestTimeWaitEnterReap(t *testing.T) {
+	r := newTWRig(t, 3)
+	if !r.enter(0, 8_000_000) || !r.enter(1, 9_000_000) {
+		t.Fatal("EnterTimeWait refused a registered flow")
+	}
+	if r.enter(0, 20_000_000) {
+		t.Error("duplicate EnterTimeWait accepted")
+	}
+	k := FlowKey{Src: ipv4.Addr{1, 2, 3, 4}, Dst: ipv4.Addr{5, 6, 7, 8}, SrcPort: 1, DstPort: 2}
+	if r.stack.EnterTimeWait(k.Src, k.Dst, k.SrcPort, k.DstPort, 8_000_000) {
+		t.Error("EnterTimeWait accepted an unregistered flow")
+	}
+	if got := r.stack.TimeWaitLen(); got != 2 {
+		t.Fatalf("TimeWaitLen = %d, want 2", got)
+	}
+	if r.stack.Endpoints() != 3 {
+		t.Fatalf("demux entries dropped early: %d", r.stack.Endpoints())
+	}
+
+	// Before any deadline tick elapses nothing reaps.
+	if got := r.stack.ReapTimeWait(5_000_000); len(got) != 0 {
+		t.Fatalf("premature reap of %d entries", len(got))
+	}
+	// The 8 ms entry's tick has fully elapsed at 9.5 ms; the 9 ms one
+	// has not (reaping is quantized to the wheel tick).
+	got := r.stack.ReapTimeWait(9_500_000)
+	if len(got) != 1 || got[0] != r.keys[0] {
+		t.Fatalf("reap at 9.5ms = %v, want [%v]", got, r.keys[0])
+	}
+	if r.stack.Endpoints() != 2 {
+		t.Errorf("reap did not unregister the demux entry")
+	}
+	got = r.stack.ReapTimeWait(12_000_000)
+	if len(got) != 1 || got[0] != r.keys[1] {
+		t.Fatalf("second reap = %v, want [%v]", got, r.keys[1])
+	}
+	st := r.stack.TimeWaitStats()
+	if st.Entered != 2 || st.Reaped != 2 || st.Len != 0 || st.Peak != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s := r.stack.Stats(); s.TimeWaitEntered != 2 || s.TimeWaitReaped != 2 {
+		t.Errorf("stack stats = %+v", s)
+	}
+}
+
+// TestTimeWaitWheelLongLinger: a deadline further out than one wheel lap
+// (slot collision with earlier ticks) must not reap early, and must
+// still reap once due.
+func TestTimeWaitWheelLongLinger(t *testing.T) {
+	r := newTWRig(t, 2)
+	const lap = twWheelSlots * twTickNs
+	r.enter(0, 2_000_000)
+	r.enter(1, 2_000_000+lap) // same slot, one lap later
+	if got := r.stack.ReapTimeWait(5_000_000); len(got) != 1 || got[0] != r.keys[0] {
+		t.Fatalf("lap-0 reap = %v", got)
+	}
+	if got := r.stack.ReapTimeWait(uint64(lap) + 1_000_000); len(got) != 0 {
+		t.Fatalf("lap-1 entry reaped early: %v", got)
+	}
+	if got := r.stack.ReapTimeWait(uint64(lap) + 4_000_000); len(got) != 1 || got[0] != r.keys[1] {
+		t.Fatalf("lap-1 reap = %v", got)
+	}
+}
+
+// TestTimeWaitSlotOrdering: entries hashed into the same wheel slot —
+// out-of-order inserts and later laps — reap strictly by deadline: the
+// slot's sorted due prefix is consumed, later laps stay untouched.
+func TestTimeWaitSlotOrdering(t *testing.T) {
+	tw := newTimeWaitTable(1)
+	const lap = twWheelSlots * twTickNs
+	mk := func(port uint16, deadline uint64) *twEntry {
+		return &twEntry{key: FlowKey{SrcPort: port, DstPort: 80}, deadline: deadline}
+	}
+	// Same slot (tick 3), three laps, inserted out of order.
+	tw.insert(0, mk(1, 3_000_000+2*lap))
+	tw.insert(0, mk(2, 3_000_000))
+	tw.insert(0, mk(3, 3_000_000+lap))
+	var got []uint16
+	reapAt := func(now uint64) {
+		tw.reap(now, func(e *twEntry) { got = append(got, e.key.SrcPort) })
+	}
+	reapAt(5_000_000)
+	reapAt(uint64(lap) + 5_000_000)
+	reapAt(uint64(2*lap) + 5_000_000)
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("reap order = %v, want [2 3 1] (deadline order across laps)", got)
+	}
+	if tw.live != 0 {
+		t.Errorf("live = %d after all laps", tw.live)
+	}
+}
+
+// TestTimeWaitReapFarBehind: a sweep arriving long after many deadlines
+// (stalled timer) must still reclaim everything in one pass.
+func TestTimeWaitReapFarBehind(t *testing.T) {
+	r := newTWRig(t, 40)
+	for i := range r.keys {
+		r.enter(i, uint64(1_000_000+i*500_000))
+	}
+	got := r.stack.ReapTimeWait(10 * uint64(twWheelSlots) * twTickNs)
+	if len(got) != 40 {
+		t.Fatalf("far-behind reap reclaimed %d of 40", len(got))
+	}
+	if r.stack.TimeWaitLen() != 0 {
+		t.Errorf("lingering after full reap: %d", r.stack.TimeWaitLen())
+	}
+}
+
+func TestTimeWaitReuse(t *testing.T) {
+	r := newTWRig(t, 2)
+	// Feed the endpoint a data segment so its TS.Recent is non-zero: the
+	// teardown snapshot the admissibility check compares against.
+	ep := r.stack.FlowTable().Peek(r.keys[0])
+	ep.Input(tcp.Segment{
+		Hdr: seg(1, 1, 4000).Hdr, Payloads: [][]byte{make([]byte, 1448)},
+		FragAcks: []uint32{1}, NetPackets: 1,
+	})
+	r.enter(0, 8_000_000)
+
+	k := r.keys[0]
+	// Same-millisecond reconnect: timestamp not strictly newer → refused.
+	if v := r.stack.ReuseTimeWait(k.Src, k.Dst, k.SrcPort, k.DstPort, 1, 4000); v != ReuseRefused {
+		t.Fatalf("same-ts reuse = %v, want refused", v)
+	}
+	// A later millisecond: granted; the demux entry must be gone so the
+	// four-tuple is immediately registrable.
+	if v := r.stack.ReuseTimeWait(k.Src, k.Dst, k.SrcPort, k.DstPort, 1, 4001); v != ReuseGranted {
+		t.Fatalf("newer-ts reuse = %v, want granted", v)
+	}
+	if r.stack.TimeWaitHas(k.Src, k.Dst, k.SrcPort, k.DstPort) {
+		t.Error("entry still lingering after granted reuse")
+	}
+	if r.stack.FlowTable().Has(k) {
+		t.Error("stale demux entry survived reuse")
+	}
+	// No lingering entry: a fresh four-tuple reports ReuseNone.
+	if v := r.stack.ReuseTimeWait(k.Src, k.Dst, k.SrcPort, k.DstPort, 1, 5000); v != ReuseNone {
+		t.Fatalf("reuse on free tuple = %v, want none", v)
+	}
+	st := r.stack.TimeWaitStats()
+	if st.Reused != 1 || st.ReuseRefused != 1 || st.Len != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Entered != st.Reaped+st.Reused+uint64(st.Len) {
+		t.Errorf("accounting broken: %+v", st)
+	}
+	// The tombstoned wheel link must not resurrect at reap time.
+	if got := r.stack.ReapTimeWait(20_000_000); len(got) != 0 {
+		t.Errorf("tombstone reaped: %v", got)
+	}
+}
+
+// seg builds a minimal in-order data segment header for feeding TS state.
+func seg(seqNum, ack uint32, tsVal uint32) tcp.Segment {
+	var s tcp.Segment
+	s.Hdr.Seq = seqNum
+	s.Hdr.Ack = ack
+	s.Hdr.Flags = 0x10 // ACK
+	s.Hdr.Window = 65535
+	s.Hdr.HasTimestamp = true
+	s.Hdr.TSVal = tsVal
+	return s
+}
+
+// TestTimeWaitSeededBacklog: seeded entries (restart-storm backlog) age,
+// reap and account like real ones; a duplicate seed is refused; reaping
+// them never disturbs live demux entries.
+func TestTimeWaitSeededBacklog(t *testing.T) {
+	r := newTWRig(t, 1)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := FlowKey{
+			Src:     ipv4.Addr{172, 16, byte(i >> 8), byte(i)},
+			Dst:     ipv4.Addr{10, 0, 0, 2},
+			SrcPort: uint16(10000 + i%50000), DstPort: 80,
+		}
+		deadline := uint64(2_000_000 + (i%20)*1_000_000)
+		if !r.stack.SeedTimeWait(k, deadline, 100, 1) {
+			t.Fatalf("seed %d refused", i)
+		}
+		if r.stack.SeedTimeWait(k, deadline, 100, 1) {
+			t.Fatalf("duplicate seed %d accepted", i)
+		}
+	}
+	if got := r.stack.TimeWaitLen(); got != n {
+		t.Fatalf("TimeWaitLen = %d, want %d", got, n)
+	}
+	// Occupancy spreads over the shards (the whole point of sharding).
+	occ := r.stack.TimeWaitOccupancy()
+	nonEmpty := 0
+	for _, c := range occ {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < len(occ)/2 {
+		t.Errorf("backlog concentrated in %d/%d shards", nonEmpty, len(occ))
+	}
+	reaped := 0
+	for now := uint64(0); now <= 30_000_000; now += 5_000_000 {
+		reaped += len(r.stack.ReapTimeWait(now))
+		st := r.stack.TimeWaitStats()
+		if st.Entered != st.Reaped+st.Reused+uint64(st.Len) {
+			t.Fatalf("accounting broken at %dns: %+v", now, st)
+		}
+	}
+	if reaped != n {
+		t.Errorf("reaped %d of %d seeded entries", reaped, n)
+	}
+	if r.stack.Endpoints() != 1 {
+		t.Errorf("seeded reap disturbed live endpoints: %d", r.stack.Endpoints())
+	}
+}
+
+// TestTimeWaitChargesScaleWithTouches: an insert/reap cycle charges the
+// memory-model touches of the entry — and the charge is independent of
+// how many other entries linger (the O(1) claim, measured in modeled
+// cycles rather than asserted).
+func TestTimeWaitChargesScaleWithTouches(t *testing.T) {
+	measure := func(backlog int) uint64 {
+		r := newTWRig(t, 2)
+		for i := 0; i < backlog; i++ {
+			k := FlowKey{Src: ipv4.Addr{172, 16, byte(i >> 8), byte(i)},
+				Dst: ipv4.Addr{10, 0, 0, 2}, SrcPort: uint16(i), DstPort: 80}
+			r.stack.SeedTimeWait(k, uint64(twWheelSlots*2)*twTickNs, 0, 1)
+		}
+		before := r.meter.Get(cycles.NonProto)
+		r.enter(0, 2_000_000)
+		r.stack.ReapTimeWait(4_000_000)
+		return r.meter.Get(cycles.NonProto) - before
+	}
+	lone, crowded := measure(0), measure(20000)
+	if lone == 0 {
+		t.Fatal("insert/reap cycle charged nothing")
+	}
+	if crowded != lone {
+		t.Errorf("insert+reap charge depends on backlog: %d vs %d cycles", lone, crowded)
+	}
+}

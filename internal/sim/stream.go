@@ -133,6 +133,46 @@ type StreamConfig struct {
 	// Reorder configures the deterministic reorder fault injector on
 	// every link (zero value: no reordering).
 	Reorder ReorderConfig
+	// TimeWaitReuse enables SYN-time port reuse against lingering
+	// TIME_WAIT entries (Linux tcp_tw_reuse, RFC 6191 admissibility):
+	// a reconnect colliding with a lingering four-tuple may recycle the
+	// old incarnation instead of waiting out the 2·MSL linger. Off, a
+	// colliding reconnect backs off until the reap — the seed behaviour,
+	// which the goldens pin.
+	TimeWaitReuse bool
+	// RestartStorm configures the restart-storm teardown workload (zero
+	// value: no storm).
+	RestartStorm RestartStormConfig
+}
+
+// RestartStormConfig tunes the restart-storm workload: a near-
+// simultaneous teardown of a fraction of the flow population followed by
+// redials of the very same four-tuples, against a configurable backlog
+// of lingering TIME_WAIT entries.
+type RestartStormConfig struct {
+	// AtNs fires the storm at this virtual time (0 = no storm).
+	AtNs uint64
+	// Fraction of the live flows torn down at the storm instant
+	// (0 = 0.5; clamped so at least one flow survives).
+	Fraction float64
+	// ReconnectDelayNs delays each victim's redial of its own four-tuple
+	// (0 = 2 ms: inside the 8 ms TIME_WAIT linger so the redial collides
+	// with the lingering entry, and past one timestamp tick so the
+	// RFC 6191 check can admit it).
+	ReconnectDelayNs uint64
+	// RetryNs is the redial back-off after a refused or premature
+	// attempt (0 = 1 ms).
+	RetryNs uint64
+	// PrefillTimeWait seeds this many synthetic lingering entries at the
+	// storm instant — the backlog of the restarted process's previous
+	// life, scaling the TIME_WAIT population far beyond what the live
+	// port space admits (the 1k → 100k+ sweep).
+	PrefillTimeWait int
+	// PrefillSpreadNs spreads the seeded deadlines uniformly so reaping
+	// is a steady trickle rather than one spike (0 = 500 ms: the
+	// backlog mostly outlives a short measured window, the way real
+	// minutes-long 2·MSL lingers dwarf any measurement interval).
+	PrefillSpreadNs uint64
 }
 
 // ReorderConfig tunes the link-level reorder fault injector: the frame
@@ -220,9 +260,21 @@ type StreamResult struct {
 	// end of the run (index = shard; cumulative over warm-up and the
 	// measured interval): registered flows, demux hits, misses, steals.
 	ShardStats []netstack.ShardStats
-	// TimeWaitEntered/TimeWaitReaped count flows that lingered in (and
-	// were reaped from) the TIME_WAIT table during churn teardown.
+	// TimeWaitEntered/TimeWaitReaped mirror TimeWait.Entered/Reaped
+	// (kept for older consumers): everything that entered or left the
+	// TIME_WAIT table — churn/storm teardowns AND any seeded
+	// restart-storm backlog, so with PrefillTimeWait set they exceed the
+	// torn-down flow count by the synthetic backlog.
 	TimeWaitEntered, TimeWaitReaped uint64
+	// TimeWait is the full TIME_WAIT table summary at the end of the run
+	// (occupancy, peak, modeled footprint, SYN-time reuse activity).
+	TimeWait netstack.TimeWaitStats
+	// ChurnOpenFailures counts churn ticks that could not open a
+	// replacement flow (port space and recycle pool exhausted); such
+	// ticks leave the victim up instead of bleeding the population.
+	ChurnOpenFailures uint64
+	// Storm reports restart-storm activity (nil when no storm ran).
+	Storm *StormReport
 	// Steer reports dynamic-steering activity (nil when steering was
 	// off).
 	Steer *SteerReport
@@ -308,13 +360,16 @@ func (r StreamResult) UtilSpread() float64 {
 
 // streamTopology holds the wired-up experiment.
 type streamTopology struct {
-	sim     *Sim
-	machine Machine
-	senders []*SenderMachine
-	links   []*Link
-	cpu     *cpuSet
-	churn   *churner
-	steer   *steerController
+	sim      *Sim
+	machine  Machine
+	senders  []*SenderMachine
+	links    []*Link
+	cpu      *cpuSet
+	gen      *flowGen
+	teardown *teardownTracker
+	churn    *churner
+	storm    *stormController
+	steer    *steerController
 }
 
 // RunStream executes one bulk-receive experiment.
@@ -368,6 +423,12 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	}
 	if top.churn != nil {
 		res.FlowsTornDown = top.churn.tornDown
+		res.ChurnOpenFailures = top.churn.openFailures
+	}
+	if top.storm != nil {
+		report := top.storm.report
+		res.Storm = &report
+		res.FlowsTornDown += report.TornDown
 	}
 	table := top.machine.FlowTable()
 	res.ShardStats = make([]netstack.ShardStats, table.Shards())
@@ -377,6 +438,7 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	stackStats := top.machine.Netstack().Stats()
 	res.TimeWaitEntered = stackStats.TimeWaitEntered
 	res.TimeWaitReaped = stackStats.TimeWaitReaped
+	res.TimeWait = top.machine.Netstack().TimeWaitStats()
 	if top.steer != nil {
 		res.Steer = top.steer.report()
 	}
@@ -445,6 +507,9 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	if cfg.Reorder.OneIn < 0 || cfg.Reorder.Distance < 0 {
 		return nil, fmt.Errorf("sim: negative reorder-injector config %+v", cfg.Reorder)
 	}
+	if st := cfg.RestartStorm; st.Fraction < 0 || st.Fraction > 1 || st.PrefillTimeWait < 0 {
+		return nil, fmt.Errorf("sim: invalid restart-storm config %+v", st)
+	}
 	s := NewSim()
 
 	machine, err := buildMachine(cfg, s)
@@ -473,15 +538,32 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	// Connections, round-robin across NICs (the many-flow workload
 	// generator owns addressing, skewed rates and churn).
 	gen := newFlowGen(top, cfg)
+	top.gen = gen
 	for c := 0; c < cfg.Connections; c++ {
 		if err := gen.openFlow(); err != nil {
 			return nil, err
 		}
 	}
 	gen.applySkew()
+	if cfg.ChurnIntervalNs > 0 || cfg.RestartStorm.AtNs > 0 {
+		top.teardown = newTeardownTracker(top)
+		top.teardown.onReap = gen.recycle
+	}
 	if cfg.ChurnIntervalNs > 0 {
-		top.churn = newChurner(top, gen, cfg.ChurnIntervalNs)
+		top.churn = newChurner(top, gen, top.teardown, cfg.ChurnIntervalNs)
 		s.After(cfg.ChurnIntervalNs, top.churn.tick)
+	}
+	if cfg.RestartStorm.AtNs > 0 {
+		top.storm = newStormController(top, cfg)
+		// The backlog seeds early (the previous process's residue exists
+		// before the window under measurement); the storm itself fires at
+		// its configured instant.
+		prefillAt := uint64(1_000_000)
+		if cfg.RestartStorm.AtNs < prefillAt {
+			prefillAt = cfg.RestartStorm.AtNs
+		}
+		s.After(prefillAt, top.storm.prefill)
+		s.After(cfg.RestartStorm.AtNs, top.storm.fire)
 	}
 	if cfg.Steering.steeringActive() {
 		sc, err := newSteerController(top, cfg.Steering)
@@ -505,8 +587,8 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		for _, snd := range top.senders {
 			snd.FireTimers(now)
 		}
-		if top.churn != nil {
-			top.churn.poll(now)
+		if top.teardown != nil {
+			top.teardown.poll(now)
 		}
 		cpu.kickAll()
 		s.After(sweepNs, sweep)

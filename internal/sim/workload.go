@@ -14,7 +14,9 @@ import (
 // rates, and runs connection arrival/teardown churn. The paper's
 // experiments are the degenerate case — a handful of uniform, immortal
 // flows — while the multi-queue RSS pipeline is exercised with thousands
-// of flows, heavy-hitter rate skew and endpoint churn.
+// of flows, heavy-hitter rate skew and endpoint churn. The teardown
+// state machine (FIN drain → TIME_WAIT → reap) is shared with the
+// restart-storm workload (storm.go).
 
 // flowRecord is one live connection's addressing.
 type flowRecord struct {
@@ -29,6 +31,10 @@ func (f flowRecord) key() netstack.FlowKey {
 	return netstack.FlowKey{Src: f.senderIP, Dst: f.rcvIP, SrcPort: f.sPort, DstPort: f.rPort}
 }
 
+// portPair is a (sender, receiver) port pair freed by a TIME_WAIT reap,
+// available for a fresh churn connection.
+type portPair struct{ s, r uint16 }
+
 // flowGen opens flows over the wired topology.
 type flowGen struct {
 	top *streamTopology
@@ -38,6 +44,17 @@ type flowGen struct {
 	churnPort int // port counter for churn replacements
 	appCPU    int // round-robin application-CPU cursor (aRFS workloads)
 	live      []flowRecord
+
+	// recycled holds churn-range port pairs reaped out of TIME_WAIT:
+	// once the linear churn range is exhausted, replacements redial
+	// these instead of silently failing (the four-tuples are fully
+	// unregistered, so reopening them needs no reuse check).
+	recycled []portPair
+
+	// onOpen, when set, observes every receiver endpoint as it opens —
+	// including churn replacements and storm reconnects (property tests
+	// attach their verification sinks here, before any byte flows).
+	onOpen func(*tcp.Endpoint)
 }
 
 // Churn replacement flows draw ports from a range disjoint from the
@@ -71,13 +88,29 @@ func (g *flowGen) openFlow() error {
 
 // openChurnFlow opens a replacement flow on NIC n with fresh ports (a new
 // connection: new four-tuple, new RSS bucket, cold congestion window).
+// When the linear churn range runs out it redials port pairs reaped out
+// of TIME_WAIT; only with the recycle pool also empty does it fail.
 func (g *flowGen) openChurnFlow(n int) error {
+	if churnReceiverPortBase+g.churnPort > math.MaxUint16 {
+		if len(g.recycled) > 0 {
+			p := g.recycled[len(g.recycled)-1]
+			g.recycled = g.recycled[:len(g.recycled)-1]
+			return g.open(n, p.s, p.r)
+		}
+		return fmt.Errorf("sim: churn count %d exhausts the port space", g.churnPort)
+	}
 	p := g.churnPort
 	g.churnPort++
-	if churnReceiverPortBase+p > math.MaxUint16 {
-		return fmt.Errorf("sim: churn count %d exhausts the port space", p)
-	}
 	return g.open(n, uint16(churnSenderPortBase+p), uint16(churnReceiverPortBase+p))
+}
+
+// recycle returns a reaped flow's port pair to the churn pool. Only
+// churn-range pairs are pooled: initial-range ports belong to the
+// restart-storm reconnect path, which redials them by four-tuple.
+func (g *flowGen) recycle(rec flowRecord) {
+	if rec.sPort >= churnSenderPortBase && rec.sPort < churnReceiverPortBase {
+		g.recycled = append(g.recycled, portPair{s: rec.sPort, r: rec.rPort})
+	}
 }
 
 func (g *flowGen) open(n int, sPort, rPort uint16) error {
@@ -110,6 +143,9 @@ func (g *flowGen) open(n int, sPort, rPort uint16) error {
 	}
 	g.live = append(g.live, flowRecord{nicIdx: n, senderIP: senderIP, rcvIP: rcvIP,
 		sPort: sPort, rPort: rPort, ep: ep})
+	if g.onOpen != nil {
+		g.onOpen(ep)
+	}
 	return nil
 }
 
@@ -154,30 +190,6 @@ func (g *flowGen) applySkew() {
 // liveCount returns the number of live flows.
 func (g *flowGen) liveCount() int { return len(g.live) }
 
-// churner runs connection arrival/teardown churn: every interval the
-// oldest flow's application closes, which triggers the full teardown
-// handshake — the sender drains in-flight data, emits a FIN (consuming a
-// sequence number), the receiver's final ACK costs receive-path cycles,
-// and the receiver endpoint lingers in the stack's TIME_WAIT table before
-// its demux entry is reaped. A fresh connection opens on the same link
-// immediately, as real servers overlap accept with lingering TIME_WAITs.
-type churner struct {
-	top      *streamTopology
-	gen      *flowGen
-	interval uint64
-	tornDown uint64
-
-	draining []drainingFlow                  // FIN in flight, not yet closed
-	inTW     map[netstack.FlowKey]flowRecord // lingering in TIME_WAIT
-}
-
-// drainingFlow is a torn-down flow waiting for its FIN handshake to
-// complete; deadline is the force-teardown backstop.
-type drainingFlow struct {
-	rec      flowRecord
-	deadline uint64
-}
-
 // churnTimeWaitNs is the TIME_WAIT linger before the demux entry is
 // reaped: 2·MSL scaled to simulation time (MSL here is a few ms — the
 // 125 µs RTT world's analogue of the real 30 s).
@@ -188,75 +200,149 @@ const churnTimeWaitNs = 8_000_000
 // so churn keeps making progress — the old fixed-grace behaviour.
 const churnForceTeardownNs = 60_000_000
 
-func newChurner(top *streamTopology, gen *flowGen, interval uint64) *churner {
-	return &churner{top: top, gen: gen, interval: interval,
-		inTW: make(map[netstack.FlowKey]flowRecord)}
+// drainingFlow is a torn-down flow waiting for its FIN handshake to
+// complete; deadline is the force-teardown backstop.
+type drainingFlow struct {
+	rec      flowRecord
+	deadline uint64
 }
 
-// tick tears one flow down and replaces it, then reschedules itself.
-func (ch *churner) tick() {
-	g := ch.gen
-	if g.liveCount() > 1 {
-		victim := g.live[0]
-		g.live = g.live[1:]
-		ch.tornDown++
-		// Application close on the sender: drain, then FIN. The receiver
-		// side's application is gone too — unpin it so aRFS stops
-		// following (and the migration workload skips) a dead flow.
-		victim.ep.SetAppCPU(-1)
-		ch.top.senders[victim.nicIdx].FinishConn(victim.sPort)
-		ch.draining = append(ch.draining,
-			drainingFlow{rec: victim, deadline: ch.top.sim.Now() + churnForceTeardownNs})
-		if err := g.openChurnFlow(victim.nicIdx); err == nil {
-			g.applySkew()
-		}
-		// Port-space exhaustion just stops opening replacements; the
-		// run continues with the remaining flows.
-	}
-	ch.top.sim.After(ch.interval, ch.tick)
-}
-
-// poll advances teardown state machines (called from the periodic sweep):
+// teardownTracker advances the teardown state machines of every
+// torn-down flow (churn victims and restart-storm victims alike):
 // receivers that have processed the FIN enter TIME_WAIT; expired
 // TIME_WAIT entries are reaped — unregistering the demux entry — and the
 // sender side is released; handshakes stuck past the backstop are forced
-// down.
-func (ch *churner) poll(now uint64) {
-	m := ch.top.machine
-	ns := m.Netstack()
-	keep := ch.draining[:0]
-	for _, d := range ch.draining {
+// down. One tracker per topology: the stack's reap sweep yields each
+// reaped key exactly once.
+type teardownTracker struct {
+	top      *streamTopology
+	draining []drainingFlow                  // FIN in flight, not yet closed
+	inTW     map[netstack.FlowKey]flowRecord // lingering in TIME_WAIT
+	onReap   func(flowRecord)                // after-release hook (port recycling)
+}
+
+func newTeardownTracker(top *streamTopology) *teardownTracker {
+	return &teardownTracker{top: top, inTW: make(map[netstack.FlowKey]flowRecord)}
+}
+
+// add starts tracking a torn-down flow (its sender application has
+// closed); deadline is the force-teardown backstop.
+func (tr *teardownTracker) add(rec flowRecord, deadline uint64) {
+	tr.draining = append(tr.draining, drainingFlow{rec: rec, deadline: deadline})
+}
+
+// isDraining reports whether k's FIN handshake is still in flight.
+func (tr *teardownTracker) isDraining(k netstack.FlowKey) bool {
+	for _, d := range tr.draining {
+		if d.rec.key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// waiting returns the TIME_WAIT record for k, if tracked.
+func (tr *teardownTracker) waiting(k netstack.FlowKey) (flowRecord, bool) {
+	rec, ok := tr.inTW[k]
+	return rec, ok
+}
+
+// poll advances the teardown state machines (called from the periodic
+// sweep).
+func (tr *teardownTracker) poll(now uint64) {
+	ns := tr.top.machine.Netstack()
+	keep := tr.draining[:0]
+	for _, d := range tr.draining {
 		switch {
 		case d.rec.ep.Closed():
-			ns.EnterTimeWait(d.rec.senderIP, d.rec.rcvIP, d.rec.sPort, d.rec.rPort,
-				now+churnTimeWaitNs)
-			ch.inTW[d.rec.key()] = d.rec
+			if ns.EnterTimeWait(d.rec.senderIP, d.rec.rcvIP, d.rec.sPort, d.rec.rPort,
+				now+churnTimeWaitNs) {
+				tr.inTW[d.rec.key()] = d.rec
+			} else {
+				// The flow is no longer registered (force-released by an
+				// earlier backstop, or torn down out from under us):
+				// stranding it in inTW would leak the sender conn and any
+				// programmed steering rule for the rest of the run, since
+				// no reap would ever yield its key. Release immediately.
+				tr.release(d.rec)
+			}
 		case now >= d.deadline:
-			ch.release(d.rec)
+			tr.release(d.rec)
 		default:
 			keep = append(keep, d)
 		}
 	}
-	ch.draining = keep
+	tr.draining = keep
 	for _, k := range ns.ReapTimeWait(now) {
-		if rec, ok := ch.inTW[k]; ok {
-			delete(ch.inTW, k)
-			// The demux entry is already reaped; this drops any NIC
-			// steering rule still programmed for the dead flow.
-			m.UnregisterEndpoint(rec.senderIP, rec.rcvIP, rec.sPort, rec.rPort)
-			ch.top.senders[rec.nicIdx].RemoveConn(rec.sPort)
-			if ch.top.steer != nil {
-				ch.top.steer.flowClosed(k)
-			}
+		if rec, ok := tr.inTW[k]; ok {
+			delete(tr.inTW, k)
+			tr.release(rec)
 		}
 	}
 }
 
-// release force-tears a flow down without the handshake (backstop path).
-func (ch *churner) release(rec flowRecord) {
-	ch.top.machine.UnregisterEndpoint(rec.senderIP, rec.rcvIP, rec.sPort, rec.rPort)
-	ch.top.senders[rec.nicIdx].RemoveConn(rec.sPort)
-	if ch.top.steer != nil {
-		ch.top.steer.flowClosed(rec.key())
+// release drops everything still keyed on a finished flow: the demux
+// entry (a no-op when the reap or a granted reuse already removed it),
+// any NIC steering rule, the sender-side connection, per-flow steering
+// policy state, and — via onReap — the port pool.
+func (tr *teardownTracker) release(rec flowRecord) {
+	tr.top.machine.UnregisterEndpoint(rec.senderIP, rec.rcvIP, rec.sPort, rec.rPort)
+	tr.top.senders[rec.nicIdx].RemoveConn(rec.sPort)
+	if tr.top.steer != nil {
+		tr.top.steer.flowClosed(rec.key())
 	}
+	if tr.onReap != nil {
+		tr.onReap(rec)
+	}
+}
+
+// churner runs connection arrival/teardown churn: every interval the
+// oldest flow's application closes, which triggers the full teardown
+// handshake — the sender drains in-flight data, emits a FIN (consuming a
+// sequence number), the receiver's final ACK costs receive-path cycles,
+// and the receiver endpoint lingers in the stack's TIME_WAIT table before
+// its demux entry is reaped. A fresh connection opens on the same link
+// immediately, as real servers overlap accept with lingering TIME_WAITs.
+type churner struct {
+	top      *streamTopology
+	gen      *flowGen
+	tr       *teardownTracker
+	interval uint64
+	tornDown uint64
+	// openFailures counts ticks whose replacement could not be opened
+	// (port space and recycle pool both exhausted); the victim survives
+	// such ticks so the population holds steady instead of bleeding
+	// toward one flow.
+	openFailures uint64
+}
+
+func newChurner(top *streamTopology, gen *flowGen, tr *teardownTracker, interval uint64) *churner {
+	return &churner{top: top, gen: gen, tr: tr, interval: interval}
+}
+
+// tick opens a replacement and tears the oldest flow down, then
+// reschedules itself. The replacement opens first: on port-space
+// exhaustion the victim stays up and the failure is surfaced in the run
+// report, where the old behaviour tore down regardless and long runs
+// silently decayed toward a single flow.
+func (ch *churner) tick() {
+	g := ch.gen
+	if g.liveCount() > 1 {
+		victim := g.live[0]
+		if err := g.openChurnFlow(victim.nicIdx); err != nil {
+			ch.openFailures++
+		} else {
+			g.live = g.live[1:]
+			ch.tornDown++
+			// Application close on the sender: drain, then FIN. The
+			// receiver side's application is gone too — unpin it so aRFS
+			// stops following (and the migration workload skips) a dead
+			// flow.
+			victim.ep.SetAppCPU(-1)
+			ch.top.senders[victim.nicIdx].FinishConn(victim.sPort)
+			ch.tr.add(victim, ch.top.sim.Now()+churnForceTeardownNs)
+			g.applySkew()
+		}
+	}
+	ch.top.sim.After(ch.interval, ch.tick)
 }

@@ -258,6 +258,13 @@ func (e *Endpoint) Closed() bool { return e.finSeen }
 // half of teardown is complete).
 func (e *Endpoint) FinAcked() bool { return e.finAcked }
 
+// TSRecent returns the most recent peer timestamp this endpoint echoed
+// (RFC 7323 TS.Recent). Teardown snapshots it into the stack's
+// TIME_WAIT entry, where it anchors the RFC 6191 reuse-admissibility
+// check: a reconnect may recycle the lingering incarnation only with a
+// strictly newer timestamp.
+func (e *Endpoint) TSRecent() uint32 { return e.tsRecent }
+
 // SetAppCPU records the CPU the consuming application runs on (-1 =
 // unpinned). The netstack reports it at socket-read time so an aRFS
 // policy can steer the flow to follow the application.

@@ -1,0 +1,35 @@
+package tcp
+
+// This file holds the SYN-time TIME_WAIT reuse admissibility rule
+// (RFC 6191, Linux's net.ipv4.tcp_tw_reuse). A server under a restart
+// storm accumulates hundreds of thousands of lingering TIME_WAIT
+// incarnations; refusing every reconnect on a lingering four-tuple until
+// the 2·MSL timer fires would stall exactly the clients reconnecting
+// hardest. The rule below states when a new connection attempt may
+// safely recycle the old incarnation instead.
+
+// ReuseAdmissible reports whether a new connection attempt may recycle a
+// lingering TIME_WAIT incarnation of the same four-tuple at SYN time.
+//
+// When the old incarnation used timestamps (lastTS non-zero), the new
+// connection's first timestamp must be strictly newer (RFC 6191 §2):
+// any delayed segment of the old incarnation then carries an older
+// timestamp and is unambiguously rejected by PAWS, so the old
+// incarnation's sequence space cannot leak into the new one. (A SYN
+// without a timestamp is refused outright on that arm: newTS of zero is
+// never strictly newer.) When the old incarnation did NOT use
+// timestamps, its delayed segments carry no option PAWS could check —
+// whatever the new SYN offers — so only the classic BSD rule applies:
+// the new initial sequence number must lie beyond the last sequence the
+// old incarnation expected, putting old data outside the new receive
+// window.
+//
+// lastTS and lastRcvNxt describe the old incarnation (its final
+// timestamp echo state and receive-next); newTS and newISS describe the
+// arriving SYN. Comparisons are wraparound-safe.
+func ReuseAdmissible(lastTS, newTS, lastRcvNxt, newISS uint32) bool {
+	if lastTS != 0 {
+		return seqGT(newTS, lastTS)
+	}
+	return seqGT(newISS, lastRcvNxt)
+}

@@ -1,0 +1,54 @@
+package tcp
+
+import "testing"
+
+func TestReuseAdmissible(t *testing.T) {
+	cases := []struct {
+		name                           string
+		lastTS, newTS, lastSeq, newISS uint32
+		want                           bool
+	}{
+		{"ts strictly newer", 100, 101, 0, 0, true},
+		{"ts equal (same ms) refused", 100, 100, 0, 0, false},
+		{"ts older refused", 100, 99, 0, 0, false},
+		{"ts wraparound newer", 0xFFFFFFFF, 1, 0, 0, true},
+		// PAWS only protects when the OLD incarnation used timestamps:
+		// a ts-less old incarnation's delayed segments carry no option to
+		// check, so the sequence rule governs whatever the new SYN offers.
+		{"old ts-less, new has ts, seq behind", 0, 5, 9000, 1, false},
+		{"old ts-less, new has ts, seq beyond", 0, 5, 9000, 10000, true},
+		// Old incarnation had timestamps but the new SYN offers none:
+		// refused (zero is never strictly newer).
+		{"old has ts, new ts-less", 100, 0, 0, 9000, false},
+		// Timestamp rule takes precedence even when the sequence rule
+		// would refuse: PAWS protects the new incarnation.
+		{"ts newer, seq behind", 100, 200, 9000, 1, true},
+		{"no ts, isn beyond rcvnxt", 0, 0, 5000, 6000, true},
+		{"no ts, isn equal refused", 0, 0, 5000, 5000, false},
+		{"no ts, isn behind refused", 0, 0, 5000, 4000, false},
+		{"no ts, isn wraparound ahead", 0, 0, 0xFFFFF000, 10, true},
+	}
+	for _, c := range cases {
+		if got := ReuseAdmissible(c.lastTS, c.newTS, c.lastSeq, c.newISS); got != c.want {
+			t.Errorf("%s: ReuseAdmissible(%d,%d,%d,%d) = %v, want %v",
+				c.name, c.lastTS, c.newTS, c.lastSeq, c.newISS, got, c.want)
+		}
+	}
+}
+
+// TestTSRecentTracksPeer: the accessor must expose the same TS.Recent
+// state Input maintains for in-order segments — the value TIME_WAIT
+// entries snapshot at teardown.
+func TestTSRecentTracksPeer(t *testing.T) {
+	env := newEnv(t, nil)
+	defer env.freeOut()
+	if got := env.ep.TSRecent(); got != 0 {
+		t.Fatalf("fresh endpoint TSRecent = %d, want 0", got)
+	}
+	seg := dataSeg(1, 1, mss(1448))
+	seg.Hdr.TSVal = 7777
+	env.ep.Input(seg)
+	if got := env.ep.TSRecent(); got != 7777 {
+		t.Fatalf("TSRecent = %d, want 7777", got)
+	}
+}

@@ -97,8 +97,20 @@ type (
 	ReorderConfig = sim.ReorderConfig
 	// AggStats is one aggregation engine's counter set: flush-reason
 	// taxonomy (Limit/Mismatch/Idle/Evict/Steer/WindowOverflow) and
-	// resequencing-window activity (Held/Stitched/WindowTimeout).
+	// resequencing-window activity (Held/Stitched/WindowTimeout,
+	// drain-time run stitching).
 	AggStats = aggregate.Stats
+	// RestartStormConfig tunes the restart-storm workload: near-
+	// simultaneous teardown of a flow fraction, same-four-tuple redials,
+	// and a seeded TIME_WAIT backlog (StreamConfig.RestartStorm).
+	RestartStormConfig = sim.RestartStormConfig
+	// StormReport summarizes a run's restart-storm activity
+	// (StreamResult.Storm).
+	StormReport = sim.StormReport
+	// TimeWaitStats is the TIME_WAIT table summary: occupancy, peak,
+	// modeled footprint and SYN-time reuse activity
+	// (StreamResult.TimeWait).
+	TimeWaitStats = netstack.TimeWaitStats
 )
 
 // ParseSystem maps a CLI system name to its SystemKind: "up" (alias
