@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 	"time"
 
 	"repro"
@@ -41,7 +42,17 @@ var (
 		"tear down and replace the oldest flow at this interval (0 = no churn); teardowns linger in TIME_WAIT")
 	stormSize = flag.Int("storm", 0,
 		"fire a restart storm one quarter into the measured interval against this many seeded TIME_WAIT entries (0 = no storm; enables tw_reuse)")
+	registered = flag.Int("registered", 0,
+		"total registered endpoints including an idle population beyond -conns (0 = active connections only); the connscale axis")
+	layout = flag.String("layout", "open",
+		"flow-table shard layout: open (cache-conscious open addressing), map (seed-style Go map baseline)")
 )
+
+// histogramThreshold is the registered population beyond which the
+// per-shard listing gives way to the occupancy histogram: a raw dump of
+// 128 shards says nothing at 1M endpoints, while load-factor and
+// probe-length distributions say everything.
+const histogramThreshold = 10_000
 
 func main() {
 	log.SetFlags(0)
@@ -68,6 +79,11 @@ func main() {
 	cfg.ReorderWindow = *window
 	cfg.Reorder = repro.ReorderConfig{OneIn: *reorderOneIn, Distance: *reorderDist}
 	cfg.ChurnIntervalNs = uint64(churnEvery.Nanoseconds())
+	cfg.RegisteredFlows = *registered
+	cfg.FlowLayout, err = repro.ParseFlowLayout(*layout)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *stormSize > 0 {
 		cfg.TimeWaitReuse = true
 		cfg.RestartStorm = repro.RestartStormConfig{
@@ -95,6 +111,7 @@ func main() {
 	fmt.Print(profile.Bar("cycles/packet by category", res.Breakdown, cats, 50))
 	fmt.Println()
 	printShardStats(res)
+	printDemux(res)
 	printTimeWait(res)
 	if *steer {
 		fmt.Println()
@@ -213,6 +230,11 @@ func printShardStats(res repro.StreamResult) {
 	if *shards <= 0 {
 		return
 	}
+	if res.Demux.Entries >= histogramThreshold {
+		// A raw busiest-shards dump is unreadable noise at this scale; the
+		// occupancy histogram (printDemux) carries the signal instead.
+		return
+	}
 	idx := make([]int, len(res.ShardStats))
 	for i := range idx {
 		idx[i] = i
@@ -245,6 +267,40 @@ func printShardStats(res repro.StreamResult) {
 		}
 		fmt.Printf("%-7d %7d %10d %10d %8d %8d %8d\n",
 			i, s.Endpoints, s.HostPackets, s.NetPackets, s.Aggregates, s.Misses, s.Steals)
+	}
+}
+
+// printDemux renders the demux structure summary: layout, footprint and
+// capacity-model charge, and — for the open-addressed layout at scale —
+// the per-shard load-factor spread and the probe-length distribution,
+// the readable replacement for per-shard dumps at 1M endpoints.
+func printDemux(res repro.StreamResult) {
+	d := res.Demux
+	fmt.Printf("demux: %s layout, %d entries, %.1f MiB structure, %d cycles charged (%.1f/host pkt)\n",
+		d.Layout, d.Entries, float64(d.Bytes)/(1<<20), res.DemuxCycles, res.DemuxCyclesPerPacket())
+	fmt.Printf("memory budget: %.1f MiB total (%.1f endpoints, %.1f timewait, %.1f table), peak %.1f MiB\n",
+		float64(res.Mem.TotalBytes)/(1<<20), float64(res.Mem.EndpointBytes)/(1<<20),
+		float64(res.Mem.TimeWaitBytes)/(1<<20), float64(res.Mem.TableBytes)/(1<<20),
+		float64(res.Mem.PeakBytes)/(1<<20))
+	if d.Slots == 0 || len(d.ProbeHist) == 0 {
+		return
+	}
+	fmt.Printf("shard load factor: min %.2f / p50 %.2f / max %.2f over %d slots\n",
+		d.LoadMin, d.LoadP50, d.LoadMax, d.Slots)
+	fmt.Printf("probe length: min %d / p50 %d / max %d\n", d.ProbeMin, d.ProbeP50, d.ProbeMax)
+	var total, peak uint64
+	for _, c := range d.ProbeHist {
+		total += c
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range d.ProbeHist {
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", int(c*40/peak))
+		}
+		fmt.Printf("  %3d %9d (%5.1f%%) %s\n", i+1, c, float64(c)*100/float64(total), bar)
 	}
 }
 

@@ -228,6 +228,12 @@ func baseMem(clockGHz float64) memmodel.Params {
 		StrideTrainLines: 2,
 		StoreCost:        25,
 		Mode:             memmodel.PrefetchFull,
+		// 2 MB L2 (Irwindale-class Xeon): the capacity-miss threshold for
+		// long-lived structures like the demux table. Structures that fit
+		// stay warm (their cost is inside the calibrated constants);
+		// structures that outgrow it pay DRAM latency on the cold
+		// fraction of their touches.
+		CacheBytes: 2 << 20,
 	}
 }
 

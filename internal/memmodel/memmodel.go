@@ -75,6 +75,15 @@ type Params struct {
 	StoreCost uint64
 	// Mode is the active prefetch configuration.
 	Mode PrefetchMode
+	// CacheBytes is the effective last-level-cache capacity available to
+	// long-lived stack structures (the 2 MB L2 of the paper-era Xeons).
+	// It drives the capacity-miss model (CapacityTouchCost): touches into
+	// a structure that fits in cache are free — their warm cost is already
+	// inside the calibrated per-packet constants — while touches into a
+	// structure larger than the cache pay DRAM latency on the cold
+	// fraction. 0 disables the capacity model entirely (every structural
+	// touch prices as warm), which is the pre-connscale behaviour.
+	CacheBytes uint64
 }
 
 // Validate returns an error describing the first invalid field, or nil.
@@ -173,6 +182,55 @@ func (p Params) RandomTouchCost(lines int) uint64 {
 		return 0
 	}
 	return uint64(lines) * p.DRAMLatency
+}
+
+// CapacityColdFraction returns the expected fraction of uniformly
+// distributed touches into a resident structure of footprint bytes that
+// miss the cache: 0 while the structure fits (its lines stay resident
+// between touches — the warm regime every calibrated constant already
+// includes), rising toward 1 as the structure dwarfs the cache. This is
+// the standard capacity-miss approximation for a structure accessed with
+// no locality: of its footprint, at most CacheBytes can be resident, so
+// a uniformly random touch hits with probability CacheBytes/footprint.
+// Returns 0 when the capacity model is disabled (CacheBytes == 0).
+func (p Params) CapacityColdFraction(footprint uint64) float64 {
+	if p.CacheBytes == 0 || footprint <= p.CacheBytes {
+		return 0
+	}
+	return float64(footprint-p.CacheBytes) / float64(footprint)
+}
+
+// CapacityTouchCost prices lines dependent line touches into a resident
+// structure of footprint bytes: the capacity-miss *excess* over the warm
+// regime — RandomTouchCost scaled by the cold fraction. Zero while the
+// structure fits in cache, so small-population runs price identically to
+// a model without capacity misses; a structure much larger than the
+// cache pays nearly full DRAM latency per touch. This is the demux-table
+// pricing rule: connection-table population becomes a per-packet cost
+// axis exactly when the table outgrows the cache ("Algorithms and Data
+// Structures to Accelerate Network Analysis", Ros-Giralt et al.).
+func (p Params) CapacityTouchCost(lines int, footprint uint64) uint64 {
+	if lines <= 0 {
+		return 0
+	}
+	cold := p.CapacityColdFraction(footprint)
+	if cold == 0 {
+		return 0
+	}
+	return uint64(float64(lines) * cold * float64(p.DRAMLatency))
+}
+
+// CapacityStreamCost prices a sequential sweep over n bytes of a resident
+// structure of footprint bytes (table growth rehash): the streaming read
+// and write costs scaled by the capacity cold fraction. Zero while the
+// structure fits in cache, like every capacity charge.
+func (p Params) CapacityStreamCost(n int, footprint uint64) uint64 {
+	cold := p.CapacityColdFraction(footprint)
+	if cold == 0 {
+		return 0
+	}
+	warm := p.SequentialReadCost(n) + p.SequentialWriteCost(n)
+	return uint64(cold * float64(warm))
 }
 
 // HeaderTouchCost prices the compulsory miss taken when first touching a

@@ -2,7 +2,10 @@ package netstack
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/cost"
+	"repro/internal/cycles"
 	"repro/internal/rss"
 	"repro/internal/tcp"
 )
@@ -21,11 +24,48 @@ import (
 // ever touched by the one softirq context that owns its queue, lookups
 // stay within a CPU-local map, and churn on one shard never disturbs
 // another CPU's flows.
+//
+// Within a shard two layouts are available (FlowLayout):
+//
+//   - LayoutOpenAddressed (default): a cache-conscious open-addressing
+//     table of fixed 32-byte slots — two per cache line — probed linearly
+//     with robin-hood displacement and grown by powers of two at 3/4
+//     load. A lookup's memory traffic is the probe run itself: the hit
+//     entry (hash, key and endpoint pointer share the slot) streams in
+//     with the key compares, and robin-hood keeps probe runs short and
+//     adjacent, so a demux touch is ~1 line however large the table is.
+//   - LayoutSeedMap: the seed-style Go map shard, kept behind the switch
+//     as the priced baseline. Its lookup chases dependent lines through
+//     the bucket array (tophash, key row, value row, overflow), modeled
+//     as flowMapDemuxLines pointer-chased lines per operation.
+//
+// Both layouts charge their structural touches through the machine's
+// memory model at the capacity-miss excess only (CapacityTouchCost):
+// while the table fits in cache the charge is exactly zero — the warm
+// demux cost is already inside the calibrated per-packet constants, and
+// both layouts price bit-identically to the seed — and once the
+// registered population outgrows the cache, every lookup pays DRAM
+// latency on the cold fraction of its line touches. That is what makes
+// connection count an honest per-packet cost axis: the open-addressed
+// layout stays near one line per lookup while the map baseline pays its
+// multi-line chase on a mostly-cold structure.
 type FlowTable struct {
+	layout FlowLayout
 	shards []flowShard
 	mask   uint32
 	count  int
 	queues int // softirq CPU count for steal detection (0 = unknown)
+
+	// bytes is the modeled structure footprint of the demux table itself
+	// (slot arrays or map buckets — not the endpoints), the capacity-model
+	// input; demuxCycles accumulates every cycle charged through it.
+	bytes       uint64
+	demuxCycles uint64
+
+	// meter/params, when set (SetPricing), price structural touches; a
+	// table built without them (unit tests) charges nothing.
+	meter  *cycles.Meter
+	params *cost.Params
 
 	// owners, when set, is the live bucket→CPU steering map shared with
 	// the NICs: shard ownership follows indirection rewrites instead of
@@ -37,11 +77,97 @@ type FlowTable struct {
 	flowOwners map[FlowKey]int
 }
 
-// flowShard is one shard: a private demux map plus per-shard receive
-// counters, including the pending-aggregate accounting that lets tests
-// and benchmarks observe how aggregation state distributes over shards.
+// FlowLayout selects a shard's internal layout.
+type FlowLayout int
+
+const (
+	// LayoutOpenAddressed is the cache-conscious open-addressing layout
+	// (the default).
+	LayoutOpenAddressed FlowLayout = iota
+	// LayoutSeedMap is the seed-style Go-map shard, kept as the priced
+	// baseline for head-to-head comparison.
+	LayoutSeedMap
+)
+
+// String names the layout as used by the CLI tools.
+func (l FlowLayout) String() string {
+	switch l {
+	case LayoutOpenAddressed:
+		return "open"
+	case LayoutSeedMap:
+		return "map"
+	default:
+		return fmt.Sprintf("FlowLayout(%d)", int(l))
+	}
+}
+
+// MarshalText emits the CLI name (JSON reports carry "open"/"map").
+func (l FlowLayout) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText parses the CLI name.
+func (l *FlowLayout) UnmarshalText(b []byte) error {
+	v, err := ParseFlowLayout(string(b))
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
+// ParseFlowLayout maps a CLI layout name to its FlowLayout: "open" (the
+// open-addressed default) or "map" (the seed-style baseline).
+func ParseFlowLayout(s string) (FlowLayout, error) {
+	switch s {
+	case "open", "":
+		return LayoutOpenAddressed, nil
+	case "map", "seed":
+		return LayoutSeedMap, nil
+	}
+	return 0, fmt.Errorf("netstack: unknown flow layout %q (want open, map)", s)
+}
+
+const (
+	// FlowSlotBytes is one open-addressed slot: 12 bytes of four-tuple
+	// key, the 4-byte Toeplitz hash, the 2-byte robin-hood probe distance
+	// and the 8-byte endpoint pointer, padded to a half cache line so two
+	// slots share a 64-byte line and a probe run streams rather than
+	// chases.
+	FlowSlotBytes = 32
+	// flowShardMinSlots is the initial slot-array size of a shard's first
+	// insert (arrays are allocated lazily, so empty shards occupy no
+	// modeled bytes).
+	flowShardMinSlots = 8
+	// flowMapEntryBytes models one Go-map entry's amortized footprint in
+	// the seed layout: the 12-byte key and 8-byte value rows plus the
+	// per-entry share of tophash bytes, bucket headers, overflow pointers
+	// and the ~1/Load slack of map growth.
+	flowMapEntryBytes = 48
+	// flowMapDemuxLines is the dependent line chase of one map operation
+	// in the seed layout: bucket-array indirection, tophash line, key row
+	// and value row are on (at least) four distinct lines reached through
+	// dependent loads.
+	flowMapDemuxLines = 4
+)
+
+// flowSlot is one open-addressed entry. dist is the 1-based probe
+// distance from the key's home slot (0 = empty); robin-hood insertion
+// keeps it near 1 and bounded, and it doubles as the per-entry probe
+// length the occupancy histogram reports.
+type flowSlot struct {
+	hash uint32
+	dist uint16
+	key  FlowKey
+	ep   *tcp.Endpoint
+}
+
+// flowShard is one shard: a private demux structure (map- or slot-
+// backed, by the table's layout) plus per-shard receive counters,
+// including the pending-aggregate accounting that lets tests and
+// benchmarks observe how aggregation state distributes over shards.
 type flowShard struct {
-	conns map[FlowKey]*tcp.Endpoint
+	conns map[FlowKey]*tcp.Endpoint // LayoutSeedMap
+	slots []flowSlot                // LayoutOpenAddressed (lazy, power of two)
+	used  int                       // occupied slots
 	stats ShardStats
 }
 
@@ -69,25 +195,215 @@ type ShardStats struct {
 const DefaultFlowShards = rss.Buckets
 
 // NewFlowTable creates a table with the given power-of-two shard count
-// (0 = DefaultFlowShards).
+// (0 = DefaultFlowShards) in the default open-addressed layout.
 func NewFlowTable(shards int) (*FlowTable, error) {
+	return NewFlowTableLayout(shards, LayoutOpenAddressed)
+}
+
+// NewFlowTableLayout creates a table with the given shard count and
+// shard layout.
+func NewFlowTableLayout(shards int, layout FlowLayout) (*FlowTable, error) {
 	if shards == 0 {
 		shards = DefaultFlowShards
 	}
 	if err := rss.ValidShards(shards); err != nil {
 		return nil, fmt.Errorf("netstack: %w", err)
 	}
-	t := &FlowTable{shards: make([]flowShard, shards), mask: uint32(shards - 1)}
-	for i := range t.shards {
-		t.shards[i].conns = make(map[FlowKey]*tcp.Endpoint)
+	if layout != LayoutOpenAddressed && layout != LayoutSeedMap {
+		return nil, fmt.Errorf("netstack: unknown flow layout %d", int(layout))
+	}
+	t := &FlowTable{layout: layout, shards: make([]flowShard, shards), mask: uint32(shards - 1)}
+	if layout == LayoutSeedMap {
+		for i := range t.shards {
+			t.shards[i].conns = make(map[FlowKey]*tcp.Endpoint)
+		}
 	}
 	return t, nil
 }
+
+// Layout returns the shard layout.
+func (t *FlowTable) Layout() FlowLayout { return t.layout }
+
+// SetPricing arms the table's structural cost charging: lookups charge
+// cycles.Rx and mutations cycles.NonProto through p's memory model at
+// the capacity-miss excess (zero while the table fits in cache). Stacks
+// arm their tables at construction; bare tables (unit tests) stay free.
+func (t *FlowTable) SetPricing(m *cycles.Meter, p *cost.Params) {
+	t.meter, t.params = m, p
+}
+
+// StructBytes returns the modeled footprint of the demux structure
+// itself (slot arrays or map buckets, not the endpoints).
+func (t *FlowTable) StructBytes() uint64 { return t.bytes }
+
+// DemuxCycles returns the cycles charged for structural demux touches so
+// far (zero while the table fits in cache or pricing is off).
+func (t *FlowTable) DemuxCycles() uint64 { return t.demuxCycles }
 
 // hashOf computes the key's RSS hash. The packet's own addressing is the
 // key (Src = remote peer), matching what the NIC hashed on the wire.
 func hashOf(k FlowKey) uint32 {
 	return rss.HashTCP4(k.Src, k.Dst, k.SrcPort, k.DstPort)
+}
+
+// slotIndexHash remixes the Toeplitz hash for slot indexing. The shard
+// index is the hash's low bucket bits, so every key in a shard shares
+// them; the slot index must depend on the remaining bits or all of a
+// shard's keys would pile onto a handful of home slots. The murmur3
+// finalizer avalanches every input bit into the low output bits.
+func slotIndexHash(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// openProbeLines converts a probe count to touched cache lines: slots
+// are half a line, probed at adjacent indices, so the first probe is one
+// line and every two further probes stream one more — the "key-compare
+// line chases" of a lookup, with the hit entry on the same lines.
+func openProbeLines(probes int) int {
+	if probes <= 0 {
+		return 0
+	}
+	return 1 + (probes-1)/2
+}
+
+// charge prices one structural touch through the capacity model.
+func (t *FlowTable) charge(cat cycles.Category, lines int) {
+	if t.meter == nil || lines == 0 {
+		return
+	}
+	c := t.params.Mem.CapacityTouchCost(lines, t.bytes)
+	if c == 0 {
+		return
+	}
+	t.meter.Charge(cat, c)
+	t.demuxCycles += c
+}
+
+// chargeGrow prices a shard growth rehash: a sequential sweep of the old
+// and new slot arrays, scaled by the table's capacity cold fraction
+// (zero while the table fits in cache, like every structural charge).
+func (t *FlowTable) chargeGrow(oldSlots, newSlots int) {
+	if t.meter == nil {
+		return
+	}
+	c := t.params.Mem.CapacityStreamCost((oldSlots+newSlots)*FlowSlotBytes, t.bytes)
+	if c == 0 {
+		return
+	}
+	t.meter.Charge(cycles.NonProto, c)
+	t.demuxCycles += c
+}
+
+// openLookup probes for k in the open layout, returning the endpoint (or
+// nil) and the probe count. Robin-hood ordering terminates a miss early:
+// once a resident entry's distance is below the probe distance, k cannot
+// be further along.
+func (s *flowShard) openLookup(h uint32, k FlowKey) (*tcp.Endpoint, int) {
+	if len(s.slots) == 0 {
+		return nil, 1
+	}
+	mask := uint32(len(s.slots) - 1)
+	i := slotIndexHash(h) & mask
+	for p := uint16(1); ; p++ {
+		sl := &s.slots[i]
+		if sl.dist == 0 || sl.dist < p {
+			return nil, int(p)
+		}
+		if sl.hash == h && sl.key == k {
+			return sl.ep, int(p)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// openNeedsGrow reports whether one more insert would push the shard
+// past 3/4 load (or it has no slots yet).
+func (s *flowShard) openNeedsGrow() bool {
+	return len(s.slots) == 0 || (s.used+1)*4 > len(s.slots)*3
+}
+
+// openGrow doubles the slot array (or allocates the first one) and
+// rehashes every resident entry, returning the old and new slot counts
+// for footprint accounting and growth pricing.
+func (s *flowShard) openGrow() (oldSlots, newSlots int) {
+	old := s.slots
+	n := 2 * len(old)
+	if n == 0 {
+		n = flowShardMinSlots
+	}
+	s.slots = make([]flowSlot, n)
+	s.used = 0
+	for i := range old {
+		if old[i].dist != 0 {
+			s.openPut(old[i].hash, old[i].key, old[i].ep)
+		}
+	}
+	return len(old), n
+}
+
+// openPut inserts a key known to be absent, robin-hood displacing richer
+// residents, and returns the number of slots visited. The caller must
+// have ensured capacity (openNeedsGrow), so an empty slot is guaranteed
+// within the probe run.
+func (s *flowShard) openPut(h uint32, k FlowKey, ep *tcp.Endpoint) int {
+	mask := uint32(len(s.slots) - 1)
+	cur := flowSlot{hash: h, dist: 1, key: k, ep: ep}
+	i := slotIndexHash(h) & mask
+	visited := 0
+	for {
+		visited++
+		sl := &s.slots[i]
+		if sl.dist == 0 {
+			*sl = cur
+			s.used++
+			return visited
+		}
+		if sl.dist < cur.dist {
+			// Robin hood: the poorer key (further from home) takes the
+			// slot; the displaced resident continues probing.
+			*sl, cur = cur, *sl
+		}
+		cur.dist++
+		i = (i + 1) & mask
+	}
+}
+
+// openRemove deletes k with backward-shift compaction (successor entries
+// slide one slot toward home, keeping probe runs tight for every later
+// lookup), returning whether k was resident and the slots visited.
+func (s *flowShard) openRemove(h uint32, k FlowKey) (bool, int) {
+	if len(s.slots) == 0 {
+		return false, 1
+	}
+	mask := uint32(len(s.slots) - 1)
+	i := slotIndexHash(h) & mask
+	for p := uint16(1); ; p++ {
+		sl := &s.slots[i]
+		if sl.dist == 0 || sl.dist < p {
+			return false, int(p)
+		}
+		if sl.hash == h && sl.key == k {
+			for {
+				j := (i + 1) & mask
+				nx := s.slots[j]
+				if nx.dist <= 1 {
+					s.slots[i] = flowSlot{}
+					break
+				}
+				nx.dist--
+				s.slots[i] = nx
+				i = j
+			}
+			s.used--
+			return true, int(p)
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // ShardOf returns the index of the shard owning key.
@@ -101,17 +417,40 @@ func (t *FlowTable) Shards() int { return len(t.shards) }
 // Len returns the total number of registered endpoints.
 func (t *FlowTable) Len() int { return t.count }
 
-// Insert registers ep under k; duplicate keys error.
+// Insert registers ep under k; duplicate keys error. The structural
+// touches (probe chase plus entry write, or the map mutation) charge
+// cycles.NonProto at the capacity-miss excess — socket-hash insertion is
+// connection-setup work, not receive protocol processing.
 func (t *FlowTable) Insert(k FlowKey, ep *tcp.Endpoint) error {
-	s := &t.shards[t.ShardOf(k)]
-	if _, dup := s.conns[k]; dup {
-		return fmt.Errorf("netstack: duplicate registration for %v:%d->%v:%d",
-			k.Src, k.SrcPort, k.Dst, k.DstPort)
+	h := hashOf(k)
+	s := &t.shards[rss.ShardOf(h, len(t.shards))]
+	if t.layout == LayoutSeedMap {
+		if _, dup := s.conns[k]; dup {
+			return t.dupErr(k)
+		}
+		s.conns[k] = ep
+		t.bytes += flowMapEntryBytes
+		t.charge(cycles.NonProto, flowMapDemuxLines)
+	} else {
+		if ep0, _ := s.openLookup(h, k); ep0 != nil {
+			return t.dupErr(k)
+		}
+		if s.openNeedsGrow() {
+			oldSlots, newSlots := s.openGrow()
+			t.bytes += uint64(newSlots-oldSlots) * FlowSlotBytes
+			t.chargeGrow(oldSlots, newSlots)
+		}
+		probes := s.openPut(h, k, ep)
+		t.charge(cycles.NonProto, openProbeLines(probes))
 	}
-	s.conns[k] = ep
 	s.stats.Endpoints++
 	t.count++
 	return nil
+}
+
+func (t *FlowTable) dupErr(k FlowKey) error {
+	return fmt.Errorf("netstack: duplicate registration for %v:%d->%v:%d",
+		k.Src, k.SrcPort, k.Dst, k.DstPort)
 }
 
 // Has reports whether k is registered, without touching any delivery
@@ -121,20 +460,37 @@ func (t *FlowTable) Has(k FlowKey) bool {
 }
 
 // Peek returns the endpoint bound to k without touching any delivery
-// counter (control-path lookup — teardown snapshots endpoint state
-// through it), or nil.
+// counter or charging any cost (control-path lookup — teardown snapshots
+// endpoint state through it), or nil.
 func (t *FlowTable) Peek(k FlowKey) *tcp.Endpoint {
-	return t.shards[t.ShardOf(k)].conns[k]
+	h := hashOf(k)
+	s := &t.shards[rss.ShardOf(h, len(t.shards))]
+	if t.layout == LayoutSeedMap {
+		return s.conns[k]
+	}
+	ep, _ := s.openLookup(h, k)
+	return ep
 }
 
 // Remove unregisters the endpoint bound to k, reporting whether it
-// existed.
+// existed. Structural touches charge cycles.NonProto like Insert's.
 func (t *FlowTable) Remove(k FlowKey) bool {
-	s := &t.shards[t.ShardOf(k)]
-	if _, ok := s.conns[k]; !ok {
-		return false
+	h := hashOf(k)
+	s := &t.shards[rss.ShardOf(h, len(t.shards))]
+	if t.layout == LayoutSeedMap {
+		if _, ok := s.conns[k]; !ok {
+			return false
+		}
+		delete(s.conns, k)
+		t.bytes -= flowMapEntryBytes
+		t.charge(cycles.NonProto, flowMapDemuxLines)
+	} else {
+		ok, probes := s.openRemove(h, k)
+		if !ok {
+			return false
+		}
+		t.charge(cycles.NonProto, openProbeLines(probes))
 	}
-	delete(s.conns, k)
 	delete(t.flowOwners, k)
 	s.stats.Endpoints--
 	t.count--
@@ -200,7 +556,10 @@ func (t *FlowTable) Lookup(k FlowKey, hash uint32, netPackets int, aggregated bo
 // k when available (0 recomputes in software) — on the hot path the
 // hardware already paid for it, and it necessarily equals hashOf(k)
 // because both hash the same four-tuple. It returns nil when no endpoint
-// is bound.
+// is bound. The structural touches of the probe (or the map's dependent
+// line chase) charge cycles.Rx at the capacity-miss excess: demux is part
+// of TCP receive processing, and its memory traffic is the cost that
+// grows with the registered population.
 func (t *FlowTable) LookupOn(cpu int, k FlowKey, hash uint32, netPackets int, aggregated bool) *tcp.Endpoint {
 	if hash == 0 {
 		hash = hashOf(k)
@@ -211,8 +570,16 @@ func (t *FlowTable) LookupOn(cpu int, k FlowKey, hash uint32, netPackets int, ag
 			s.stats.Steals++
 		}
 	}
-	ep, ok := s.conns[k]
-	if !ok {
+	var ep *tcp.Endpoint
+	if t.layout == LayoutSeedMap {
+		ep = s.conns[k]
+		t.charge(cycles.Rx, flowMapDemuxLines)
+	} else {
+		var probes int
+		ep, probes = s.openLookup(hash, k)
+		t.charge(cycles.Rx, openProbeLines(probes))
+	}
+	if ep == nil {
 		s.stats.Misses++
 		return nil
 	}
@@ -231,7 +598,79 @@ func (t *FlowTable) ShardStatsOf(i int) ShardStats { return t.shards[i].stats }
 func (t *FlowTable) Occupancy() []int {
 	occ := make([]int, len(t.shards))
 	for i := range t.shards {
-		occ[i] = len(t.shards[i].conns)
+		if t.layout == LayoutSeedMap {
+			occ[i] = len(t.shards[i].conns)
+		} else {
+			occ[i] = t.shards[i].used
+		}
 	}
 	return occ
+}
+
+// TableStats is the demux structure summary: layout, footprint, charged
+// demux cycles, per-shard load factors and the probe-length distribution
+// of the resident entries (open layout; the map layout has no meaningful
+// probe or load-factor notion and reports zeros). It is what replaces
+// raw per-shard dumps at million-endpoint scale.
+type TableStats struct {
+	// Layout is the shard layout ("open" or "map" in reports).
+	Layout FlowLayout `json:"layout"`
+	// Entries is the registered-endpoint count, Slots the allocated slot
+	// count across shards (0 in the map layout).
+	Entries int `json:"entries"`
+	Slots   int `json:"slots,omitempty"`
+	// Bytes is the modeled structure footprint (slot arrays or map
+	// buckets, not the endpoints); DemuxCycles the cycles charged for
+	// structural demux touches so far.
+	Bytes       uint64 `json:"bytes"`
+	DemuxCycles uint64 `json:"demux_cycles"`
+	// LoadMin/LoadP50/LoadMax summarize per-shard load factor
+	// (used/slots) over the shards that have slots.
+	LoadMin float64 `json:"load_min,omitempty"`
+	LoadP50 float64 `json:"load_p50,omitempty"`
+	LoadMax float64 `json:"load_max,omitempty"`
+	// ProbeMin/ProbeP50/ProbeMax summarize the resident entries' probe
+	// lengths; ProbeHist[i] counts entries at probe length i+1.
+	ProbeMin  int      `json:"probe_min,omitempty"`
+	ProbeP50  int      `json:"probe_p50,omitempty"`
+	ProbeMax  int      `json:"probe_max,omitempty"`
+	ProbeHist []uint64 `json:"probe_hist,omitempty"`
+}
+
+// TableStats scans the table and assembles its structure summary.
+func (t *FlowTable) TableStats() TableStats {
+	ts := TableStats{Layout: t.layout, Entries: t.count, Bytes: t.bytes, DemuxCycles: t.demuxCycles}
+	if t.layout == LayoutSeedMap {
+		return ts
+	}
+	var loads []float64
+	var probes []int
+	var hist []uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		if len(s.slots) == 0 {
+			continue
+		}
+		ts.Slots += len(s.slots)
+		loads = append(loads, float64(s.used)/float64(len(s.slots)))
+		for j := range s.slots {
+			if d := int(s.slots[j].dist); d > 0 {
+				probes = append(probes, d)
+				for len(hist) < d {
+					hist = append(hist, 0)
+				}
+				hist[d-1]++
+			}
+		}
+	}
+	if len(loads) > 0 {
+		sort.Float64s(loads)
+		ts.LoadMin, ts.LoadP50, ts.LoadMax = loads[0], loads[len(loads)/2], loads[len(loads)-1]
+	}
+	if len(probes) > 0 {
+		sort.Ints(probes)
+		ts.ProbeMin, ts.ProbeP50, ts.ProbeMax = probes[0], probes[len(probes)/2], probes[len(probes)-1]
+		ts.ProbeHist = hist
+	}
+	return ts
 }

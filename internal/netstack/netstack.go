@@ -43,11 +43,38 @@ type Stats struct {
 	// teardown; TimeWaitReaped counts expiries that unregistered them;
 	// TimeWaitReused counts lingering entries recycled by SYN-time port
 	// reuse, and TimeWaitReuseRefused the reuse attempts the RFC 6191
-	// admissibility check turned away.
+	// admissibility check turned away. TimeWaitEvicted counts entries
+	// dropped early by tcp_max_tw_buckets pressure (ConfigureTimeWait).
 	TimeWaitEntered      uint64
 	TimeWaitReaped       uint64
 	TimeWaitReused       uint64
 	TimeWaitReuseRefused uint64
+	TimeWaitEvicted      uint64
+}
+
+// EndpointSlabBytes models the slab footprint of one registered endpoint:
+// a Linux tcp_sock plus its socket, dst and hash-link overhead lands in
+// the ~2 KB slab class. It sizes the machine-wide memory budget
+// (MemStats) the connscale sweep reports against the registered
+// population.
+const EndpointSlabBytes = 2048
+
+// MemStats is the stack's modeled memory budget: slab bytes for
+// registered endpoints, TIME_WAIT shadow entries, and the demux table
+// structure itself, with the run's high-water mark. It is the
+// machine-wide footprint the connscale sweep holds against the cache
+// capacity model — the budget grows linearly with registered endpoints
+// while per-packet demux cost must not.
+type MemStats struct {
+	// EndpointBytes is registered endpoints × EndpointSlabBytes,
+	// TimeWaitBytes lingering entries × TimeWaitEntryBytes, TableBytes
+	// the demux structure (slot arrays or map buckets).
+	EndpointBytes uint64 `json:"endpoint_bytes"`
+	TimeWaitBytes uint64 `json:"timewait_bytes"`
+	TableBytes    uint64 `json:"table_bytes"`
+	// TotalBytes is the sum; PeakBytes the run's high-water total.
+	TotalBytes uint64 `json:"total_bytes"`
+	PeakBytes  uint64 `json:"peak_bytes"`
 }
 
 // Stack is one network namespace: an IP layer with a sharded TCP demux
@@ -74,12 +101,24 @@ type Stack struct {
 	table *FlowTable
 	tw    *timeWaitTable
 	stats Stats
+
+	// memPeak is the high-water MemStats total; twEvicted collects the
+	// keys of pressure-evicted TIME_WAIT flows until the next reap drains
+	// them (so callers release peer-side state through one path).
+	memPeak   uint64
+	twEvicted []FlowKey
 }
 
 // New creates an empty stack charging m under p, with the default shard
-// count.
+// count and flow-table layout.
 func New(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) *Stack {
-	s, err := NewSharded(m, p, alloc, 0)
+	return NewLayout(m, p, alloc, LayoutOpenAddressed)
+}
+
+// NewLayout creates an empty stack with the default shard count and the
+// given flow-table layout.
+func NewLayout(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, layout FlowLayout) *Stack {
+	s, err := NewShardedLayout(m, p, alloc, 0, layout)
 	if err != nil {
 		panic(err) // unreachable: the default shard count is valid
 	}
@@ -89,13 +128,22 @@ func New(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator) *Stack {
 // NewSharded creates an empty stack whose flow table has the given
 // power-of-two shard count (0 = DefaultFlowShards).
 func NewSharded(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, shards int) (*Stack, error) {
+	return NewShardedLayout(m, p, alloc, shards, LayoutOpenAddressed)
+}
+
+// NewShardedLayout creates an empty stack with the given shard count and
+// flow-table layout.
+func NewShardedLayout(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, shards int, layout FlowLayout) (*Stack, error) {
 	if m == nil || p == nil || alloc == nil {
 		panic("netstack: nil dependency")
 	}
-	t, err := NewFlowTable(shards)
+	t, err := NewFlowTableLayout(shards, layout)
 	if err != nil {
 		return nil, err
 	}
+	// Demux structural touches price through the machine's memory model
+	// at the capacity-miss excess (see FlowTable).
+	t.SetPricing(m, p)
 	// The TIME_WAIT table shares the flow table's sharding, so a flow's
 	// lingering entry lives on the same softirq CPU as its demux entry.
 	return &Stack{meter: m, params: p, alloc: alloc, table: t, tw: newTimeWaitTable(t.Shards())}, nil
@@ -103,6 +151,29 @@ func NewSharded(m *cycles.Meter, p *cost.Params, alloc *buf.Allocator, shards in
 
 // Stats returns a copy of the stack counters.
 func (s *Stack) Stats() Stats { return s.stats }
+
+// noteMem updates the memory-budget high-water mark; called wherever the
+// footprint can grow (registration, TIME_WAIT entry).
+func (s *Stack) noteMem() {
+	total := uint64(s.table.Len())*EndpointSlabBytes +
+		uint64(s.tw.live)*TimeWaitEntryBytes + s.table.StructBytes()
+	if total > s.memPeak {
+		s.memPeak = total
+	}
+}
+
+// MemStats returns the stack's modeled memory budget.
+func (s *Stack) MemStats() MemStats {
+	s.noteMem()
+	ms := MemStats{
+		EndpointBytes: uint64(s.table.Len()) * EndpointSlabBytes,
+		TimeWaitBytes: uint64(s.tw.live) * TimeWaitEntryBytes,
+		TableBytes:    s.table.StructBytes(),
+		PeakBytes:     s.memPeak,
+	}
+	ms.TotalBytes = ms.EndpointBytes + ms.TimeWaitBytes + ms.TableBytes
+	return ms
+}
 
 // FlowTable exposes the sharded demux table (stats, tests).
 func (s *Stack) FlowTable() *FlowTable { return s.table }
@@ -127,6 +198,7 @@ func (s *Stack) Register(ep *tcp.Endpoint, remoteIP, localIP ipv4.Addr, remotePo
 		return err
 	}
 	ep.Output = s.Output
+	s.noteMem()
 	return nil
 }
 

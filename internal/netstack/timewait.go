@@ -88,9 +88,13 @@ type TimeWaitStats struct {
 	// Entered counts insertions (real teardowns and seeded backlog);
 	// Reaped counts deadline expiries; Reused counts entries recycled by
 	// SYN-time port reuse; ReuseRefused counts reconnects the
-	// admissibility check turned away. At all times
-	// Entered = Reaped + Reused + Len.
+	// admissibility check turned away. Evicted counts entries dropped
+	// early under tcp_max_tw_buckets pressure, and PressureRefused the
+	// insertions turned away at the cap in refusal mode (the flow skips
+	// TIME_WAIT entirely, Linux's "time wait bucket table overflow"). At
+	// all times Entered = Reaped + Reused + Evicted + Len.
 	Entered, Reaped, Reused, ReuseRefused uint64
+	Evicted, PressureRefused              uint64
 	// Len is the current number of lingering entries, Peak the run's
 	// high-water mark, and Bytes/PeakBytes their modeled footprint
 	// (TimeWaitEntryBytes each).
@@ -104,21 +108,83 @@ type timeWaitTable struct {
 	live   int
 	peak   int
 
+	// maxPerShard caps each shard's live entries (0 = unlimited), the
+	// per-shard share of tcp_max_tw_buckets. evictOldest selects the
+	// over-cap behavior: evict the shard's oldest-deadline entry to admit
+	// the new one, or refuse the insertion (Linux's default: the closing
+	// flow skips TIME_WAIT entirely).
+	maxPerShard int
+	evictOldest bool
+
 	entered, reaped, reused, refused uint64
+	evicted, pressureRefused         uint64
 }
 
 func newTimeWaitTable(shards int) *timeWaitTable {
 	return &timeWaitTable{shards: make([]twShard, shards)}
 }
 
-// insert links a new entry, reporting false on a live duplicate.
-func (t *timeWaitTable) insert(shard int, e *twEntry) bool {
+// configure sets the table-wide live-entry cap (tcp_max_tw_buckets; 0 =
+// unlimited), split evenly across shards like the kernel's per-hash-chain
+// pressure, and the over-cap behavior.
+func (t *timeWaitTable) configure(maxBuckets int, evictOldest bool) {
+	if maxBuckets <= 0 {
+		t.maxPerShard = 0
+	} else {
+		t.maxPerShard = (maxBuckets + len(t.shards) - 1) / len(t.shards)
+		if t.maxPerShard < 1 {
+			t.maxPerShard = 1
+		}
+	}
+	t.evictOldest = evictOldest
+}
+
+// oldest returns the shard's live entry with the earliest deadline (the
+// eviction victim), or nil. Each wheel slot is deadline-sorted, so only
+// the first live entry per slot competes: at most twWheelSlots probes,
+// independent of occupancy.
+func (sh *twShard) oldest() *twEntry {
+	var best *twEntry
+	for i := range sh.wheel {
+		for _, e := range sh.wheel[i] {
+			if e.dead {
+				continue
+			}
+			if best == nil || e.deadline < best.deadline {
+				best = e
+			}
+			break
+		}
+	}
+	return best
+}
+
+// insert links a new entry. It reports false on a live duplicate or a
+// pressure refusal; when eviction mode displaced an oldest-deadline
+// victim to admit e, the victim (already tombstoned and uncounted) is
+// returned for the caller to unregister.
+func (t *timeWaitTable) insert(shard int, e *twEntry) (bool, *twEntry) {
 	sh := &t.shards[shard]
 	if sh.entries == nil {
 		sh.entries = make(map[FlowKey]*twEntry)
 	}
 	if _, dup := sh.entries[e.key]; dup {
-		return false
+		return false, nil
+	}
+	var victim *twEntry
+	if t.maxPerShard > 0 && sh.live >= t.maxPerShard {
+		if !t.evictOldest {
+			t.pressureRefused++
+			return false, nil
+		}
+		if victim = sh.oldest(); victim != nil {
+			delete(sh.entries, victim.key)
+			victim.dead = true
+			sh.live--
+			sh.tombs++
+			t.live--
+			t.evicted++
+		}
 	}
 	tick := e.deadline / twTickNs
 	if sh.live == 0 || tick < sh.cursor {
@@ -144,7 +210,7 @@ func (t *timeWaitTable) insert(shard int, e *twEntry) bool {
 		t.peak = t.live
 	}
 	t.entered++
-	return true
+	return true, victim
 }
 
 // lookup returns the live entry for k, or nil.
@@ -231,15 +297,40 @@ func (t *timeWaitTable) reap(now uint64, each func(*twEntry)) {
 // stats assembles the aggregate summary.
 func (t *timeWaitTable) stats() TimeWaitStats {
 	return TimeWaitStats{
-		Entered:      t.entered,
-		Reaped:       t.reaped,
-		Reused:       t.reused,
-		ReuseRefused: t.refused,
-		Len:          t.live,
-		Peak:         t.peak,
-		Bytes:        uint64(t.live) * TimeWaitEntryBytes,
-		PeakBytes:    uint64(t.peak) * TimeWaitEntryBytes,
+		Entered:         t.entered,
+		Reaped:          t.reaped,
+		Reused:          t.reused,
+		ReuseRefused:    t.refused,
+		Evicted:         t.evicted,
+		PressureRefused: t.pressureRefused,
+		Len:             t.live,
+		Peak:            t.peak,
+		Bytes:           uint64(t.live) * TimeWaitEntryBytes,
+		PeakBytes:       uint64(t.peak) * TimeWaitEntryBytes,
 	}
+}
+
+// ConfigureTimeWait sets tcp_max_tw_buckets for the stack: at most
+// maxBuckets flows may linger in TIME_WAIT (0 = unlimited), the cap split
+// evenly across shards. Over the cap, evictOldest selects Linux-matching
+// pressure behavior: false refuses the new entry — the closing flow skips
+// TIME_WAIT entirely (the kernel's default, logged as "time wait bucket
+// table overflow") — while true evicts the shard's oldest-deadline entry
+// early to admit the new one. Evicted flows are unregistered immediately
+// and their keys surface through the next ReapTimeWait, so peer-side
+// state releases through the same path as an expiry.
+func (s *Stack) ConfigureTimeWait(maxBuckets int, evictOldest bool) {
+	s.tw.configure(maxBuckets, evictOldest)
+}
+
+// dropEvicted finishes a pressure eviction: the victim's demux entry is
+// removed (charged like any TIME_WAIT removal) and its key queued for the
+// next reap's return value.
+func (s *Stack) dropEvicted(e *twEntry) {
+	registered := s.table.Remove(e.key)
+	s.chargeTWRemove(registered)
+	s.stats.TimeWaitEvicted++
+	s.twEvicted = append(s.twEvicted, e.key)
 }
 
 // chargeTWInsert prices one entry insertion: the entry init streams
@@ -280,11 +371,16 @@ func (s *Stack) EnterTimeWait(remoteIP, localIP ipv4.Addr, remotePort, localPort
 		return false
 	}
 	e := &twEntry{key: k, deadline: deadline, lastTS: ep.TSRecent(), rcvNxt: ep.RcvNxt()}
-	if !s.tw.insert(s.table.ShardOf(k), e) {
+	ok, victim := s.tw.insert(s.table.ShardOf(k), e)
+	if victim != nil {
+		s.dropEvicted(victim)
+	}
+	if !ok {
 		return false
 	}
 	s.stats.TimeWaitEntered++
 	s.chargeTWInsert()
+	s.noteMem()
 	return true
 }
 
@@ -296,11 +392,16 @@ func (s *Stack) EnterTimeWait(remoteIP, localIP ipv4.Addr, remotePort, localPort
 // reports false on a duplicate.
 func (s *Stack) SeedTimeWait(k FlowKey, deadline uint64, lastTS, rcvNxt uint32) bool {
 	e := &twEntry{key: k, deadline: deadline, lastTS: lastTS, rcvNxt: rcvNxt}
-	if !s.tw.insert(s.table.ShardOf(k), e) {
+	ok, victim := s.tw.insert(s.table.ShardOf(k), e)
+	if victim != nil {
+		s.dropEvicted(victim)
+	}
+	if !ok {
 		return false
 	}
 	s.stats.TimeWaitEntered++
 	s.chargeTWInsert()
+	s.noteMem()
 	return true
 }
 
@@ -359,13 +460,15 @@ func (s *Stack) TimeWaitHas(remoteIP, localIP ipv4.Addr, remotePort, localPort u
 }
 
 // ReapTimeWait unregisters every TIME_WAIT flow whose deadline tick has
-// elapsed at virtual time now, returning the reaped keys (the caller
-// releases any peer-side state keyed on them). Teardown is receive-path
-// work: each reap charges the wheel unlink, map delete and demux-table
-// update like any other non-proto mutation — and nothing else, however
-// many entries still linger.
+// elapsed at virtual time now, returning the reaped keys — including any
+// flows pressure-evicted since the last sweep — so the caller releases
+// any peer-side state keyed on them. Teardown is receive-path work: each
+// reap charges the wheel unlink, map delete and demux-table update like
+// any other non-proto mutation — and nothing else, however many entries
+// still linger.
 func (s *Stack) ReapTimeWait(now uint64) []FlowKey {
-	var reaped []FlowKey
+	reaped := s.twEvicted
+	s.twEvicted = nil
 	s.tw.reap(now, func(e *twEntry) {
 		registered := s.table.Remove(e.key)
 		s.chargeTWRemove(registered)

@@ -109,6 +109,10 @@ type NativeConfig struct {
 	// FlowRuleSlots sizes each NIC's exact-match steering-rule table
 	// (0 = no aRFS filters, the paper's hardware).
 	FlowRuleSlots int
+	// FlowLayout selects the flow-table shard layout (default: the
+	// cache-conscious open-addressed layout; LayoutSeedMap is the priced
+	// Go-map baseline).
+	FlowLayout netstack.FlowLayout
 }
 
 // NativeMachine is a native Linux receiver host.
@@ -159,7 +163,7 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	}
 	m := &NativeMachine{cfg: cfg, cpus: cfg.RxQueues, Params: cfg.Params}
 	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
-	m.Stack = netstack.New(&m.Meter, &m.Params, m.Alloc)
+	m.Stack = netstack.NewLayout(&m.Meter, &m.Params, m.Alloc, cfg.FlowLayout)
 	m.Stack.Tx = nativeRouter{m}
 	m.Stack.SetQueues(m.cpus)
 	sm, err := rss.NewMap(m.cpus)

@@ -143,6 +143,24 @@ type StreamConfig struct {
 	// RestartStorm configures the restart-storm teardown workload (zero
 	// value: no storm).
 	RestartStorm RestartStormConfig
+	// FlowLayout selects the flow-table shard layout (zero value: the
+	// cache-conscious open-addressed layout; LayoutSeedMap keeps the
+	// Go-map shards as the priced baseline).
+	FlowLayout netstack.FlowLayout
+	// RegisteredFlows, when above Connections, grows the registered
+	// endpoint population to this total by seeding idle flows: registered
+	// connections that receive no traffic during the run but occupy demux
+	// table slots and endpoint slab bytes, so the active subset's lookups
+	// walk a realistically cold, realistically large table (the connscale
+	// axis, 10k → 1M).
+	RegisteredFlows int
+	// MaxTimeWaitBuckets caps the TIME_WAIT population
+	// (tcp_max_tw_buckets, split across shards; 0 = unlimited), and
+	// TimeWaitEvictOldest selects the over-cap behavior: false refuses
+	// new entries (the closing flow skips TIME_WAIT — Linux's default),
+	// true evicts the oldest-deadline entry early.
+	MaxTimeWaitBuckets  int
+	TimeWaitEvictOldest bool
 }
 
 // RestartStormConfig tunes the restart-storm workload: a near-
@@ -293,6 +311,23 @@ type StreamResult struct {
 	// ReorderedFrames counts frames the links' reorder injector
 	// displaced over the whole run (warm-up included).
 	ReorderedFrames uint64
+	// HostPackets is the number of host packets (post-aggregation demux
+	// lookups) of the measured interval.
+	HostPackets uint64
+	// DemuxCycles is the cycles the flow table charged for structural
+	// demux touches during the measured interval — the capacity-miss
+	// excess that appears once the registered population outgrows the
+	// cache, zero below it. This is the connscale sweep's per-layout
+	// degradation signal.
+	DemuxCycles uint64
+	// Demux is the flow-table structure summary at the end of the run
+	// (layout, footprint, per-shard load factors, probe-length
+	// distribution).
+	Demux netstack.TableStats
+	// Mem is the stack's modeled memory budget at the end of the run
+	// (endpoint slabs + TIME_WAIT entries + demux structure, with the
+	// run's peak).
+	Mem netstack.MemStats
 }
 
 // SteerReport summarizes a run's dynamic-steering activity.
@@ -338,6 +373,16 @@ func (r StreamResult) CyclesPerByte() float64 {
 		return 0
 	}
 	return r.CyclesPerPacket * float64(r.Frames) / b
+}
+
+// DemuxCyclesPerPacket returns the structural demux charge per host
+// packet of the measured interval (0 when nothing was delivered) — the
+// number the connscale sweep compares across layouts.
+func (r StreamResult) DemuxCyclesPerPacket() float64 {
+	if r.HostPackets == 0 {
+		return 0
+	}
+	return float64(r.DemuxCycles) / float64(r.HostPackets)
 }
 
 // UtilSpread returns max−min per-CPU utilization — the imbalance metric
@@ -388,6 +433,7 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	startHost := top.machine.HostPacketsIn()
 	startBusy := top.cpu.perCPUBusy()
 	startOOO := oooSegs(top.machine)
+	startDemux := top.machine.FlowTable().DemuxCycles()
 
 	s.RunUntil(cfg.WarmupNs + cfg.DurationNs)
 
@@ -435,6 +481,10 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	for i := range res.ShardStats {
 		res.ShardStats[i] = table.ShardStatsOf(i)
 	}
+	res.HostPackets = host
+	res.DemuxCycles = table.DemuxCycles() - startDemux
+	res.Demux = table.TableStats()
+	res.Mem = top.machine.Netstack().MemStats()
 	stackStats := top.machine.Netstack().Stats()
 	res.TimeWaitEntered = stackStats.TimeWaitEntered
 	res.TimeWaitReaped = stackStats.TimeWaitReaped
@@ -510,6 +560,16 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	if st := cfg.RestartStorm; st.Fraction < 0 || st.Fraction > 1 || st.PrefillTimeWait < 0 {
 		return nil, fmt.Errorf("sim: invalid restart-storm config %+v", st)
 	}
+	if cfg.RegisteredFlows < 0 {
+		return nil, fmt.Errorf("sim: RegisteredFlows %d must be non-negative", cfg.RegisteredFlows)
+	}
+	if cfg.RegisteredFlows > 0 && cfg.RegisteredFlows < cfg.Connections {
+		return nil, fmt.Errorf("sim: RegisteredFlows %d below Connections %d",
+			cfg.RegisteredFlows, cfg.Connections)
+	}
+	if cfg.MaxTimeWaitBuckets < 0 {
+		return nil, fmt.Errorf("sim: MaxTimeWaitBuckets %d must be non-negative", cfg.MaxTimeWaitBuckets)
+	}
 	s := NewSim()
 
 	machine, err := buildMachine(cfg, s)
@@ -535,6 +595,10 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		top.links = append(top.links, link)
 	}
 
+	if cfg.MaxTimeWaitBuckets > 0 || cfg.TimeWaitEvictOldest {
+		machine.Netstack().ConfigureTimeWait(cfg.MaxTimeWaitBuckets, cfg.TimeWaitEvictOldest)
+	}
+
 	// Connections, round-robin across NICs (the many-flow workload
 	// generator owns addressing, skewed rates and churn).
 	gen := newFlowGen(top, cfg)
@@ -545,6 +609,11 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		}
 	}
 	gen.applySkew()
+	if cfg.RegisteredFlows > cfg.Connections {
+		if err := gen.seedIdleFlows(cfg.RegisteredFlows - cfg.Connections); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.ChurnIntervalNs > 0 || cfg.RestartStorm.AtNs > 0 {
 		top.teardown = newTeardownTracker(top)
 		top.teardown.onReap = gen.recycle
@@ -641,6 +710,7 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 			Aggregation:   aggOpts,
 			Clock:         s.Clock(),
 			FlowRuleSlots: ruleSlots,
+			FlowLayout:    cfg.FlowLayout,
 		})
 	case SystemXen:
 		params := cost.XenGuest()
@@ -660,6 +730,7 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 			Aggregation:   aggOpts,
 			Clock:         s.Clock(),
 			FlowRuleSlots: ruleSlots,
+			FlowLayout:    cfg.FlowLayout,
 		})
 	default:
 		return nil, fmt.Errorf("sim: unknown system %d", int(cfg.System))

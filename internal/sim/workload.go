@@ -113,6 +113,40 @@ func (g *flowGen) recycle(rec flowRecord) {
 	}
 }
 
+// seedIdleFlows registers n idle connections: endpoints that occupy demux
+// table slots and endpoint slab bytes but move no traffic, so the active
+// subset's lookups walk a table as large and cold as a production
+// receiver's (the connscale axis). The population lives in the 172.16/12
+// space — disjoint from the active 10.0.<n>.x flows and the churn port
+// ranges, so no idle key can ever collide with a real one — and every key
+// binds one shared placeholder endpoint: only the table's own structure
+// and footprint matter, and a million per-key endpoints would add nothing
+// but allocation noise. Idle flows are registered directly on the
+// netstack, bypassing the machine's endpoint list, so the per-sweep
+// timer scan stays proportional to the active population.
+func (g *flowGen) seedIdleFlows(n int) error {
+	m := g.top.machine
+	rcfg := tcp.DefaultConfig()
+	rcfg.LocalIP, rcfg.RemoteIP = ipv4.Addr{172, 16, 0, 2}, ipv4.Addr{172, 16, 0, 1}
+	rcfg.LocalPort, rcfg.RemotePort = 8080, 1024
+	dummy, err := tcp.New(rcfg, m.MeterRef(), m.ParamsRef(), m.AllocRef(), g.top.sim.Clock())
+	if err != nil {
+		return err
+	}
+	ns := m.Netstack()
+	localIP := ipv4.Addr{172, 16, 0, 2}
+	for i := 0; i < n; i++ {
+		// 60k ports per remote address, then advance the address.
+		ipIdx := i / 60000
+		remoteIP := ipv4.Addr{172, byte(16 + ipIdx/256), byte(ipIdx % 256), 1}
+		remotePort := uint16(1024 + i%60000)
+		if err := ns.Register(dummy, remoteIP, localIP, remotePort, 8080); err != nil {
+			return fmt.Errorf("sim: seeding idle flow %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 func (g *flowGen) open(n int, sPort, rPort uint16) error {
 	top, cfg := g.top, g.cfg
 	senderIP := ipv4.Addr{10, 0, byte(n), 1}

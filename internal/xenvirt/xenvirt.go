@@ -105,6 +105,10 @@ type Config struct {
 	// FlowRuleSlots sizes each NIC's exact-match steering-rule table
 	// (0 = no aRFS filters).
 	FlowRuleSlots int
+	// FlowLayout selects the guest flow-table shard layout (default: the
+	// cache-conscious open-addressed layout; LayoutSeedMap is the priced
+	// Go-map baseline).
+	FlowLayout netstack.FlowLayout
 }
 
 // Stats aggregates machine-level counters.
@@ -210,7 +214,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg, queues: cfg.Queues, vcpus: cfg.GuestVCPUs, Params: cfg.Params, curCPU: -1}
 	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
-	m.GuestStack = netstack.New(&m.Meter, &m.Params, m.Alloc)
+	m.GuestStack = netstack.NewLayout(&m.Meter, &m.Params, m.Alloc, cfg.FlowLayout)
 	m.GuestStack.Tx = txChain{m}
 	m.GuestStack.SetQueues(m.vcpus)
 	nm, err := rss.NewMap(m.queues)
