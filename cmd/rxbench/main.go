@@ -10,6 +10,21 @@
 // per-run records (experiment, configuration, Mb/s, cycles/byte,
 // aggregation statistics) is written to stdout — the machine-readable
 // form CI records as BENCH_*.json performance trajectories.
+//
+// # Profiling the simulator
+//
+// rxbench doubles as the profiling harness for the simulator's own hot
+// path (wall-clock and allocations, not virtual cycles):
+//
+//	rxbench -experiment connscale -cpuprofile cpu.prof -memprofile mem.prof
+//	go tool pprof -top cpu.prof
+//	go tool pprof -top -sample_index=alloc_objects mem.prof
+//
+// The CPU profile covers the whole invocation; the heap profile is
+// written after the final run (post-GC, so it shows live retention —
+// use alloc_objects/alloc_space indices for cumulative churn). This is
+// the loop that drove the scheduler's allocation overhaul: profile,
+// kill the top allocation site, re-run the determinism suite, repeat.
 package main
 
 import (
@@ -18,6 +33,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +58,12 @@ var (
 		"emit machine-readable JSON run records on stdout (tables move to stderr)")
 	parallel = flag.Int("parallel", 1,
 		"worker goroutines for independent sweep points (rss, restartstorm, connscale); output order is deterministic")
+	parSched = flag.Bool("parsched", false,
+		"run each stream on the intra-run parallel scheduler (bit-identical results; Xen and steering configs fall back to serial)")
+	cpuProfile = flag.String("cpuprofile", "",
+		"write a CPU profile of the whole invocation to this file")
+	memProfile = flag.String("memprofile", "",
+		"write a heap profile (after the final run) to this file")
 )
 
 // runRecord is one stream run's machine-readable result.
@@ -77,17 +100,45 @@ type runRecord struct {
 	// ever lingered); Storm summarizes restart-storm activity.
 	TimeWait *repro.TimeWaitStats `json:"timewait,omitempty"`
 	Storm    *repro.StormReport   `json:"storm,omitempty"`
+	// Error marks a sweep point whose run failed; the metric fields are
+	// zero and the remaining points of the sweep are still valid.
+	Error string `json:"error,omitempty"`
 }
 
 var (
 	curExperiment string
 	records       []runRecord
+	// pointFailures counts sweep points that failed (reported in-table
+	// and in JSON rather than aborting the sweep; nonzero exit at the end).
+	pointFailures int
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rxbench: ")
 	flag.Parse()
+
+	// Declared before the profile defers so it runs after them (LIFO):
+	// profiles are flushed even when failed sweep points force a nonzero
+	// exit.
+	defer func() {
+		if pointFailures > 0 {
+			os.Exit(1)
+		}
+	}()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile()
 
 	// With -json the real stdout carries only the JSON document; the
 	// experiments' fmt.Print* tables resolve os.Stdout at call time, so
@@ -153,9 +204,26 @@ func emitJSON(dest *os.File) {
 	}
 }
 
+// writeMemProfile dumps the heap profile at exit when -memprofile is set.
+func writeMemProfile() {
+	if *memProfile == "" {
+		return
+	}
+	f, err := os.Create(*memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize the post-run live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
 func stream(cfg repro.StreamConfig) repro.StreamResult {
 	cfg.DurationNs = uint64(duration.Nanoseconds())
 	cfg.WarmupNs = uint64(warmup.Nanoseconds())
+	cfg.ParallelScheduler = *parSched
 	res, err := repro.RunStream(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -167,11 +235,15 @@ func stream(cfg repro.StreamConfig) repro.StreamResult {
 // streamMany runs independent sweep points, fanned out over -parallel
 // worker goroutines (each RunStream builds its own topology, so points
 // share nothing). Results and JSON records keep the input order whatever
-// the completion order was.
-func streamMany(cfgs []repro.StreamConfig) []repro.StreamResult {
+// the completion order was. A failed point does not abort the sweep: its
+// error is logged, recorded in the JSON report and surfaced to the
+// caller's table (errs[i] != nil, results[i] zero); the process exits
+// nonzero at the end.
+func streamMany(cfgs []repro.StreamConfig) ([]repro.StreamResult, []error) {
 	for i := range cfgs {
 		cfgs[i].DurationNs = uint64(duration.Nanoseconds())
 		cfgs[i].WarmupNs = uint64(warmup.Nanoseconds())
+		cfgs[i].ParallelScheduler = *parSched
 	}
 	results := make([]repro.StreamResult, len(cfgs))
 	errs := make([]error, len(cfgs))
@@ -200,11 +272,28 @@ func streamMany(cfgs []repro.StreamConfig) []repro.StreamResult {
 	wg.Wait()
 	for i := range cfgs {
 		if errs[i] != nil {
-			log.Fatal(errs[i])
+			pointFailures++
+			log.Printf("%s point %d (%s/%s, %d queues): %v",
+				curExperiment, i, cfgs[i].System, cfgs[i].Opt, cfgs[i].Queues, errs[i])
+			recordError(cfgs[i], errs[i])
+			continue
 		}
 		record(cfgs[i], results[i])
 	}
-	return results
+	return results, errs
+}
+
+// recordError captures a failed sweep point for the -json report.
+func recordError(cfg repro.StreamConfig, err error) {
+	records = append(records, runRecord{
+		Experiment:  curExperiment,
+		System:      cfg.System.String(),
+		Opt:         cfg.Opt.String(),
+		NICs:        cfg.NICs,
+		Queues:      cfg.Queues,
+		Connections: cfg.Connections,
+		Error:       err.Error(),
+	})
 }
 
 // record captures one run for the -json report.
@@ -430,7 +519,12 @@ func rssScaling() {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	for i, res := range streamMany(cfgs) {
+	results, errs := streamMany(cfgs)
+	for i, res := range results {
+		if errs[i] != nil {
+			fmt.Printf("%-7d %-10s FAILED: %v\n", cfgs[i].Queues, cfgs[i].Opt, errs[i])
+			continue
+		}
 		per := ""
 		for _, u := range res.PerCPUUtil {
 			per += fmt.Sprintf(" %3.0f%%", u*100)
@@ -596,7 +690,12 @@ func restartStorm() {
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	for i, res := range streamMany(cfgs) {
+	results, errs := streamMany(cfgs)
+	for i, res := range results {
+		if errs[i] != nil {
+			fmt.Printf("%-9d FAILED: %v\n", cfgs[i].RestartStorm.PrefillTimeWait, errs[i])
+			continue
+		}
 		tw := res.TimeWait
 		fmt.Printf("%-9d %9.0f %9.2f %10d %9d %8d %8d %9d %10d\n",
 			cfgs[i].RestartStorm.PrefillTimeWait, res.ThroughputMbps, res.CyclesPerByte(),
@@ -632,12 +731,16 @@ func connScale() {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results := streamMany(cfgs)
+	results, errs := streamMany(cfgs)
 	fmt.Printf("Connection-count scaling (%s, 64 active zipf flows / 4 links, registered population swept)\n", sys)
 	fmt.Printf("%-7s %-11s %9s %9s %12s %10s %6s %9s %10s\n",
 		"layout", "registered", "Mb/s", "cyc/byte", "demux c/pkt", "probe", "load", "table MB", "budget MB")
 	for i, res := range results {
 		cfg := cfgs[i]
+		if errs[i] != nil {
+			fmt.Printf("%-7s %-11d FAILED: %v\n", cfg.FlowLayout, cfg.RegisteredFlows, errs[i])
+			continue
+		}
 		probe := "-"
 		load := "-"
 		if cfg.FlowLayout == repro.LayoutOpenAddressed {

@@ -85,12 +85,18 @@ func (s *SKB) L3() []byte { return s.Head[s.L3Offset:] }
 // including the first. For ordinary packets it returns just FirstAck.
 // This is the metadata the modified TCP layer consumes (§3.4).
 func (s *SKB) FragAcks() []uint32 {
-	acks := make([]uint32, 0, 1+len(s.Frags))
-	acks = append(acks, s.FirstAck)
+	return s.AppendFragAcks(make([]uint32, 0, 1+len(s.Frags)))
+}
+
+// AppendFragAcks appends the constituent ACK numbers to dst and returns
+// it. The stack's hot path passes a per-CPU scratch slice here so a
+// delivery allocates nothing (the TCP layer only ranges over the result).
+func (s *SKB) AppendFragAcks(dst []uint32) []uint32 {
+	dst = append(dst, s.FirstAck)
 	for i := range s.Frags {
-		acks = append(acks, s.Frags[i].Ack)
+		dst = append(dst, s.Frags[i].Ack)
 	}
-	return acks
+	return dst
 }
 
 // TotalPayloadLen returns the TCP payload bytes carried: the first frame's
@@ -200,7 +206,15 @@ func (a *Allocator) Free(s *SKB) {
 	a.stats.Live--
 	s.freed = true
 	s.Head = nil
-	s.Frags = nil
+	// Drop the fragment payload references but keep the backing array: an
+	// aggregate SKB's Frags regrow to the same length every cycle, and
+	// reusing the capacity removes the per-aggregate slice allocation.
+	for i := range s.Frags {
+		s.Frags[i] = Frag{}
+	}
+	s.Frags = s.Frags[:0]
+	// TemplateAcks stays nil: non-nil is the "this SKB is an ACK template"
+	// marker, so its capacity cannot be recycled.
 	s.TemplateAcks = nil
 	if len(a.free) < 1024 {
 		a.free = append(a.free, s)
@@ -217,7 +231,8 @@ func (a *Allocator) get() *SKB {
 	if n := len(a.free); n > 0 {
 		s := a.free[n-1]
 		a.free = a.free[:n-1]
-		*s = SKB{alloc: a}
+		frags := s.Frags[:0] // preserve the recycled fragment capacity
+		*s = SKB{alloc: a, Frags: frags}
 		return s
 	}
 	return &SKB{alloc: a}

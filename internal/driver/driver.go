@@ -85,8 +85,19 @@ type Driver struct {
 	// the aggregation queue is full (the frame is then dropped, as a
 	// real driver would when the backlog overflows).
 	DeliverRaw func(nic.Frame) bool
+	// TxFrame, when set, intercepts outgoing frames instead of
+	// nic.Transmit. The parallel scheduler installs it on per-CPU transmit
+	// drivers: during a parallel phase it captures the frame into the
+	// lane's mailbox (committed in canonical order at the barrier); at
+	// barrier time it delivers directly with the lane's context. The hook
+	// owns the NIC TxFrames accounting.
+	TxFrame func(nic.Frame)
 
 	stats Stats
+
+	// scratch is the reusable poll buffer (hot path: one PollRxOn slice
+	// allocation per poll otherwise).
+	scratch []nic.Frame
 }
 
 // New creates a driver for queue 0 of n charging m under p.
@@ -119,7 +130,8 @@ func (d *Driver) Stats() Stats { return d.stats }
 // It returns the number of frames processed and re-arms the queue's
 // interrupt vector when the ring is empty.
 func (d *Driver) Poll(budget int) int {
-	frames := d.nic.PollRxOn(d.queue, budget)
+	d.scratch = d.nic.PollRxInto(d.queue, budget, d.scratch[:0])
+	frames := d.scratch
 	for _, f := range frames {
 		d.stats.FramesPolled++
 		// Per-frame driver work: descriptor writeback handling and
@@ -169,7 +181,7 @@ func (d *Driver) Transmit(skb *buf.SKB) {
 	frame := skb.Head
 	d.meter.Charge(cycles.Driver, d.params.DriverTxPerPacket)
 	d.stats.TxPackets++
-	d.nic.Transmit(nic.Frame{Data: frame})
+	d.txFrame(nic.Frame{Data: frame})
 
 	if skb.TemplateAcks != nil {
 		expanded, err := ackoff.Expand(frame, skb.L3Offset, skb.TemplateAcks)
@@ -181,8 +193,16 @@ func (d *Driver) Transmit(skb *buf.SKB) {
 				d.params.AckExpandPerAck+d.params.DriverTxPerPacket)
 			d.stats.TxPackets++
 			d.stats.AcksExpanded++
-			d.nic.Transmit(nic.Frame{Data: cp})
+			d.txFrame(nic.Frame{Data: cp})
 		}
 	}
 	d.alloc.Free(skb)
+}
+
+func (d *Driver) txFrame(f nic.Frame) {
+	if d.TxFrame != nil {
+		d.TxFrame(f)
+		return
+	}
+	d.nic.Transmit(f)
 }

@@ -23,7 +23,7 @@ type FlowTuple struct {
 // flowRule is one programmed filter.
 type flowRule struct {
 	queue   int
-	lastHit uint64 // NIC frame clock at the last match (LRU eviction key)
+	lastHit uint64 // rule-table touch clock at the last match (LRU eviction key)
 }
 
 // FlowRuleStats counts steering-rule activity on one NIC.
@@ -71,7 +71,8 @@ func (n *NIC) ProgramFlowRule(t FlowTuple, queue int) (evicted *FlowTuple, err e
 		victim := n.evictLRURule()
 		evicted = &victim
 	}
-	n.rules[t] = &flowRule{queue: queue, lastHit: n.stats.RxFrames}
+	n.ruleClock++
+	n.rules[t] = &flowRule{queue: queue, lastHit: n.ruleClock}
 	n.ruleStats.Programmed++
 	return evicted, nil
 }
@@ -107,7 +108,8 @@ func (n *NIC) evictLRURule() FlowTuple {
 func (n *NIC) steerQueue(t FlowTuple, hash uint32) int {
 	if len(n.rules) > 0 {
 		if r, ok := n.rules[t]; ok {
-			r.lastHit = n.stats.RxFrames
+			n.ruleClock++
+			r.lastHit = n.ruleClock
 			n.ruleStats.Hits++
 			return r.queue
 		}

@@ -52,10 +52,28 @@ type Link struct {
 	// the adjacent swap).
 	ReorderDistance int
 
+	// onStall, when set (parallel scheduler), is consulted before the
+	// ring-occupancy pause check. During a parallel link phase the exact
+	// check is unavailable — the owning CPU lane may still drain the ring
+	// inside the window — so the hook tests the conservative shadow bound
+	// and, on pressure, returns true: transmitNext requeues itself at its
+	// original ordering key and the lane halts, deferring the decision to
+	// the epoch barrier where the hook returns false and the exact check
+	// below runs with fully merged ring state.
+	onStall func() bool
+
 	busy     bool
 	inFlight int
 	fwdCount int
 	stats    LinkStats
+
+	// wireFreeFn is the pre-bound "serialization finished" event (one
+	// closure for the link's lifetime instead of one per frame).
+	wireFreeFn func()
+	// transmitFn is the pre-bound transmitNext method value: the stall
+	// requeue path runs once per deferred ring-headroom check and a fresh
+	// method-value binding each time was a measurable allocation source.
+	transmitFn func()
 
 	// Reorder-injector state: the withheld frame and how many deliveries
 	// remain before it is released.
@@ -95,6 +113,11 @@ func NewLink(s *Sim, sender *SenderMachine, dst *nic.NIC) *Link {
 		RingHeadroom: 24,
 	}
 	sender.OnWindowOpen = l.Kick
+	l.wireFreeFn = func() {
+		l.busy = false
+		l.transmitNext()
+	}
+	l.transmitFn = l.transmitNext
 	return l
 }
 
@@ -121,16 +144,21 @@ func (l *Link) transmitNext() {
 	if l.busy {
 		return
 	}
+	if l.onStall != nil && l.onStall() {
+		// Parallel phase: ring pressure cannot be decided on this lane.
+		// Re-enter at the same key so the deferred attempt holds exactly
+		// this event's position in the canonical serial order.
+		schedAt, seq := l.sim.CurKey()
+		l.sim.ScheduleKeyed(l.sim.Now(), schedAt, seq, l.transmitFn)
+		return
+	}
 	if l.dst.RxNearFull(l.RingHeadroom) {
 		// Pause: ring nearly full; hold the wire and retry shortly.
 		// The in-flight margin guarantees no drops between check and
 		// delivery.
 		l.stats.PauseEvents++
 		l.busy = true
-		l.sim.After(l.PauseRetryNs, func() {
-			l.busy = false
-			l.transmitNext()
-		})
+		l.sim.After(l.PauseRetryNs, l.wireFreeFn)
 		return
 	}
 	frame := l.sender.NextFrame()
@@ -153,10 +181,7 @@ func (l *Link) transmitNext() {
 	wire := l.wireTimeNs(len(frame))
 	// Wire becomes free after serialization; the frame lands at the
 	// receiver one propagation delay later.
-	l.sim.After(wire, func() {
-		l.busy = false
-		l.transmitNext()
-	})
+	l.sim.After(wire, l.wireFreeFn)
 	l.fwdCount++
 	corrupt := l.CorruptOneIn > 0 && l.fwdCount%l.CorruptOneIn == 0
 	l.sim.After(wire+l.DelayNs, func() {
@@ -228,6 +253,20 @@ func (l *Link) DeliverReverse(frame []byte) { l.DeliverReverseDelayed(frame, 0) 
 func (l *Link) DeliverReverseDelayed(frame []byte, extraNs uint64) {
 	l.stats.ReverseFrames++
 	l.sim.After(extraNs+l.DelayNs, func() {
+		l.sender.ReceiveFrame(frame)
+	})
+}
+
+// DeliverReverseAt is DeliverReverseDelayed for callers whose notion of
+// "now" is not this link's lane clock: the parallel scheduler's mailbox
+// commit and epoch barrier, where the transmit happened at virtual time
+// `at` on a CPU lane that may be ahead of or behind this link's lane. The
+// frame reaches the sender at at+extraNs+DelayNs, keyed exactly as the
+// serial schedule would have keyed it (schedAt = the transmit instant).
+func (l *Link) DeliverReverseAt(frame []byte, at, extraNs uint64) {
+	l.stats.ReverseFrames++
+	l.sim.seq++
+	l.sim.ScheduleKeyed(at+extraNs+l.DelayNs, at, l.sim.seq, func() {
 		l.sender.ReceiveFrame(frame)
 	})
 }

@@ -113,6 +113,14 @@ type NativeConfig struct {
 	// cache-conscious open-addressed layout; LayoutSeedMap is the priced
 	// Go-map baseline).
 	FlowLayout netstack.FlowLayout
+	// LaneClocks, when non-nil (parallel scheduler), builds the machine
+	// with one private execution context per softirq CPU — meter, SKB
+	// allocator, transmit drivers, stack lane — with context q reading
+	// virtual time from LaneClocks[q] (the CPU's event-lane clock). Length
+	// must equal RxQueues. Totals (MeterSnapshot, Stats sums) are exact
+	// uint64 sums of the shards, so results are bit-identical to a serial
+	// machine doing the same work.
+	LaneClocks []tcp.Clock
 }
 
 // NativeMachine is a native Linux receiver host.
@@ -138,6 +146,15 @@ type NativeMachine struct {
 	polling  [][]bool // NAPI poll lists: [nic][queue] with signaled irq
 	wired    bool     // interrupts routed via WireInterrupts
 
+	// Per-CPU execution contexts (LaneClocks set). Each softirq CPU owns
+	// a meter and allocator shard plus its own transmit drivers, so a CPU
+	// lane's entire receive round — driver poll, aggregation, stack,
+	// endpoint, ACK transmit — mutates nothing another lane touches.
+	laneMeters []*cycles.Meter
+	laneAllocs []*buf.Allocator
+	laneFrames []uint64
+	laneTx     [][]*driver.Driver // [cpu][nic]
+
 	// steerMap is the machine's bucket→CPU steering truth, shared by
 	// every NIC's indirection lookup and the flow table's ownership
 	// accounting; its round-robin initial fill is the static RSS spread.
@@ -161,6 +178,9 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	if cfg.RxQueues < 0 {
 		return nil, fmt.Errorf("sim: RxQueues %d must be positive", cfg.RxQueues)
 	}
+	if cfg.LaneClocks != nil && len(cfg.LaneClocks) != cfg.RxQueues {
+		return nil, fmt.Errorf("sim: %d lane clocks for %d queues", len(cfg.LaneClocks), cfg.RxQueues)
+	}
 	m := &NativeMachine{cfg: cfg, cpus: cfg.RxQueues, Params: cfg.Params}
 	m.Alloc = buf.NewAllocator(&m.Meter, &m.Params)
 	m.Stack = netstack.NewLayout(&m.Meter, &m.Params, m.Alloc, cfg.FlowLayout)
@@ -172,6 +192,19 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	}
 	m.steerMap = sm
 	m.Stack.FlowTable().SetOwnerMap(sm)
+
+	// laneMeter/laneAlloc resolve the charging context for work attributed
+	// to one CPU: the lane shard when per-CPU contexts are armed, the
+	// machine-wide context otherwise.
+	if cfg.LaneClocks != nil {
+		m.laneFrames = make([]uint64, m.cpus)
+		for cpu := 0; cpu < m.cpus; cpu++ {
+			lm := &cycles.Meter{}
+			m.laneMeters = append(m.laneMeters, lm)
+			m.laneAllocs = append(m.laneAllocs, buf.NewAllocator(lm, &m.Params))
+		}
+		m.Stack.SetLanes(m.laneMeters, m.laneAllocs)
+	}
 
 	if cfg.Mode == NativeOptimized {
 		opts := cfg.Aggregation
@@ -185,7 +218,7 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 			opts.Aggregation.ReorderWindowBytes = agg.ReorderWindowBytes
 		}
 		for cpu := 0; cpu < m.cpus; cpu++ {
-			rp, err := core.NewOnCPU(cpu, opts, &m.Meter, &m.Params, m.Alloc, m.Stack.InputOn(cpu))
+			rp, err := core.NewOnCPU(cpu, opts, m.laneMeter(cpu), &m.Params, m.laneAlloc(cpu), m.Stack.InputOn(cpu))
 			if err != nil {
 				return nil, fmt.Errorf("sim: %w", err)
 			}
@@ -209,10 +242,10 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 		for q := 0; q < m.cpus; q++ {
 			var d *driver.Driver
 			if cfg.Mode == NativeOptimized {
-				d = driver.NewQueue(n, q, driver.ModeRaw, &m.Meter, &m.Params, m.Alloc)
+				d = driver.NewQueue(n, q, driver.ModeRaw, m.laneMeter(q), &m.Params, m.laneAlloc(q))
 				d.DeliverRaw = m.rps[q].EnqueueRaw
 			} else {
-				d = driver.NewQueue(n, q, driver.ModeBaseline, &m.Meter, &m.Params, m.Alloc)
+				d = driver.NewQueue(n, q, driver.ModeBaseline, m.laneMeter(q), &m.Params, m.laneAlloc(q))
 				d.DeliverSKB = m.Stack.InputOn(q)
 			}
 			qdrvs[q] = d
@@ -224,7 +257,41 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 	for i := range m.polling {
 		m.polling[i] = make([]bool, m.cpus)
 	}
+
+	// Per-CPU transmit drivers: endpoint ACKs generated on CPU q leave
+	// through q's own driver for the flow's NIC, so transmit charges and
+	// driver state stay on the generating lane (serial machines transmit
+	// through the receive drivers' queue-0 column instead).
+	if cfg.LaneClocks != nil {
+		m.laneTx = make([][]*driver.Driver, m.cpus)
+		txOn := make([]netstack.Transmitter, m.cpus)
+		for cpu := 0; cpu < m.cpus; cpu++ {
+			m.laneTx[cpu] = make([]*driver.Driver, len(m.nics))
+			for i, n := range m.nics {
+				m.laneTx[cpu][i] = driver.NewQueue(n, cpu, driver.ModeBaseline, m.laneMeter(cpu), &m.Params, m.laneAlloc(cpu))
+			}
+			txOn[cpu] = laneRouter{m: m, cpu: cpu}
+		}
+		m.Stack.TxOn = txOn
+	}
 	return m, nil
+}
+
+// laneMeter returns the charging meter for work attributed to cpu: the
+// lane shard under the parallel scheduler, the machine meter otherwise.
+func (m *NativeMachine) laneMeter(cpu int) *cycles.Meter {
+	if m.laneMeters != nil {
+		return m.laneMeters[cpu]
+	}
+	return &m.Meter
+}
+
+// laneAlloc is laneMeter's allocator counterpart.
+func (m *NativeMachine) laneAlloc(cpu int) *buf.Allocator {
+	if m.laneAllocs != nil {
+		return m.laneAllocs[cpu]
+	}
+	return m.Alloc
 }
 
 // NICs returns the machine's NICs.
@@ -385,18 +452,37 @@ func (m *NativeMachine) ProcessRound(cpu, budget int) (int, bool) {
 		m.rps[cpu].Process(1 << 30)
 	}
 	if frames > 0 {
-		m.framesIn += uint64(frames)
+		if m.laneFrames != nil {
+			m.laneFrames[cpu] += uint64(frames)
+		} else {
+			m.framesIn += uint64(frames)
+		}
 		misc := m.Params.MiscPerPacket
 		if m.Params.SMP {
 			misc += m.Params.SMPMiscExtra
 		}
-		m.Meter.Charge(cycles.Misc, uint64(frames)*misc)
+		m.laneMeter(cpu).Charge(cycles.Misc, uint64(frames)*misc)
 	}
 	return frames, more
 }
 
 // MeterRef returns the machine's cycle meter.
 func (m *NativeMachine) MeterRef() *cycles.Meter { return &m.Meter }
+
+// MeterSnapshot returns the machine's total charged cycles: the base
+// meter plus every per-CPU lane shard (uint64 sums per category, so the
+// result is exactly the serial meter's snapshot for the same work).
+func (m *NativeMachine) MeterSnapshot() cycles.Snapshot {
+	if m.laneMeters == nil {
+		return m.Meter.Snapshot()
+	}
+	var tot cycles.Meter
+	m.Meter.AddInto(&tot)
+	for _, lm := range m.laneMeters {
+		lm.AddInto(&tot)
+	}
+	return tot.Snapshot()
+}
 
 // AllocRef returns the machine's allocator.
 func (m *NativeMachine) AllocRef() *buf.Allocator { return m.Alloc }
@@ -405,9 +491,17 @@ func (m *NativeMachine) AllocRef() *buf.Allocator { return m.Alloc }
 func (m *NativeMachine) ParamsRef() *cost.Params { return &m.Params }
 
 // RegisterEndpoint adds a receiver endpoint to the stack and timer list.
+// With per-CPU contexts armed, the endpoint is rebound onto the lane of
+// the CPU that owns its flow's steering bucket — the queue all its frames
+// arrive on — so its receive processing is lane-local.
 func (m *NativeMachine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error {
 	if err := m.Stack.Register(ep, remoteIP, localIP, remotePort, localPort); err != nil {
 		return err
+	}
+	if m.laneMeters != nil {
+		owner := m.steerMap.Queue(rss.HashTCP4(remoteIP, localIP, remotePort, localPort))
+		ep.Rebind(m.laneMeters[owner], m.laneAllocs[owner], m.cfg.LaneClocks[owner])
+		ep.Output = m.Stack.OutputOn(owner)
 	}
 	m.eps = append(m.eps, ep)
 	return nil
@@ -432,8 +526,15 @@ func (m *NativeMachine) Endpoints() []*tcp.Endpoint { return m.eps }
 // HostPacketsIn returns host packets delivered to the stack.
 func (m *NativeMachine) HostPacketsIn() uint64 { return m.Stack.Stats().HostPacketsIn }
 
-// NetFramesIn returns network frames consumed from the NIC rings.
-func (m *NativeMachine) NetFramesIn() uint64 { return m.framesIn }
+// NetFramesIn returns network frames consumed from the NIC rings (base
+// count plus per-CPU lane shards).
+func (m *NativeMachine) NetFramesIn() uint64 {
+	total := m.framesIn
+	for _, n := range m.laneFrames {
+		total += n
+	}
+	return total
+}
 
 // nativeRouter picks the outgoing driver by the destination IP's third
 // octet (one sender subnet per NIC: 10.0.<i>.x). Transmission always uses
@@ -448,6 +549,27 @@ func (r nativeRouter) Transmit(skb *buf.SKB) {
 	if len(l3) >= 20 {
 		if idx := int(l3[18]); idx < len(m.drvs) {
 			d = m.drvs[idx][0]
+		}
+	}
+	d.Transmit(skb)
+}
+
+// laneRouter is nativeRouter's per-CPU counterpart: the same subnet→NIC
+// routing, but through the lane's own transmit drivers.
+type laneRouter struct {
+	m   *NativeMachine
+	cpu int
+}
+
+// Transmit routes one outgoing host packet to the lane's driver for its
+// NIC.
+func (r laneRouter) Transmit(skb *buf.SKB) {
+	m := r.m
+	l3 := skb.L3()
+	d := m.laneTx[r.cpu][0]
+	if len(l3) >= 20 {
+		if idx := int(l3[18]); idx < len(m.laneTx[r.cpu]) {
+			d = m.laneTx[r.cpu][idx]
 		}
 	}
 	d.Transmit(skb)

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// parForceWorkers: without the race detector there is no reason to pay
+// goroutine spawn/join latency when only one CPU can run anyway — the
+// scheduler falls back to executing lanes inline (same schedule, same
+// results, no overhead).
+const parForceWorkers = false

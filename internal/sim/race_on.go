@@ -1,0 +1,10 @@
+//go:build race
+
+package sim
+
+// parForceWorkers keeps the parallel scheduler's worker goroutines alive
+// even on a single-CPU host when the race detector is compiled in: the
+// whole point of a -race run of the determinism suite is to exercise the
+// cross-goroutine lane boundaries, which the single-CPU inline fast path
+// would silently skip.
+const parForceWorkers = true

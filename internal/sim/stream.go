@@ -9,6 +9,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/tcp"
 	"repro/internal/xenvirt"
 )
 
@@ -161,6 +162,14 @@ type StreamConfig struct {
 	// true evicts the oldest-deadline entry early.
 	MaxTimeWaitBuckets  int
 	TimeWaitEvictOldest bool
+	// ParallelScheduler runs the simulation on per-CPU and per-link event
+	// lanes with a deterministic epoch merge (parsched.go) instead of the
+	// single serial event heap. Results are bit-identical to the serial
+	// schedule; only wall-clock time changes. Configurations the lane
+	// partition cannot express — Xen (frontend/backend share vCPUs) and
+	// dynamic steering (bucket ownership changes mid-run) — fall back to
+	// the serial path. Off (the default) leaves the serial path untouched.
+	ParallelScheduler bool
 }
 
 // RestartStormConfig tunes the restart-storm workload: a near-
@@ -415,6 +424,27 @@ type streamTopology struct {
 	churn    *churner
 	storm    *stormController
 	steer    *steerController
+	par      *parSched // non-nil when the parallel scheduler is active
+}
+
+// runUntil advances the experiment to virtual time t: the serial event
+// loop, or the lane executor when the parallel scheduler is active.
+func (top *streamTopology) runUntil(t uint64) {
+	if top.par != nil {
+		top.par.run(t)
+		return
+	}
+	top.sim.RunUntil(t)
+}
+
+// machineSnapshot returns the machine's full charged-cycle snapshot: the
+// base meter plus any per-CPU lane shards (identical to MeterRef on
+// machines that meter centrally).
+func machineSnapshot(m Machine) cycles.Snapshot {
+	if ms, ok := m.(interface{ MeterSnapshot() cycles.Snapshot }); ok {
+		return ms.MeterSnapshot()
+	}
+	return m.MeterRef().Snapshot()
 }
 
 // RunStream executes one bulk-receive experiment.
@@ -423,11 +453,9 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	if err != nil {
 		return StreamResult{}, err
 	}
-	s := top.sim
-
 	// Warm-up, snapshot, measure.
-	s.RunUntil(cfg.WarmupNs)
-	startSnap := top.machine.MeterRef().Snapshot()
+	top.runUntil(cfg.WarmupNs)
+	startSnap := machineSnapshot(top.machine)
 	startBytes := appBytes(top.machine)
 	startFrames := top.machine.NetFramesIn()
 	startHost := top.machine.HostPacketsIn()
@@ -435,9 +463,9 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	startOOO := oooSegs(top.machine)
 	startDemux := top.machine.FlowTable().DemuxCycles()
 
-	s.RunUntil(cfg.WarmupNs + cfg.DurationNs)
+	top.runUntil(cfg.WarmupNs + cfg.DurationNs)
 
-	endSnap := top.machine.MeterRef().Snapshot()
+	endSnap := machineSnapshot(top.machine)
 	delta := endSnap.Sub(startSnap)
 	bytes := appBytes(top.machine) - startBytes
 	frames := top.machine.NetFramesIn() - startFrames
@@ -572,25 +600,55 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	}
 	s := NewSim()
 
-	machine, err := buildMachine(cfg, s)
+	// The parallel scheduler needs the lane Sims before any component is
+	// built, so senders, links and the machine's per-CPU contexts read
+	// virtual time from their own lane clocks from construction on.
+	// Ineligible configurations (Xen, dynamic steering) silently use the
+	// serial path, which is bit-identical by definition.
+	var par *parSched
+	var laneClocks []tcp.Clock
+	if cfg.ParallelScheduler && cfg.System != SystemXen && !cfg.Steering.steeringActive() {
+		cpus := cfg.Queues
+		if cpus <= 0 {
+			cpus = 1
+		}
+		par = newParSched(s, cfg.NICs, cpus)
+		laneClocks = make([]tcp.Clock, cpus)
+		for q := range laneClocks {
+			laneClocks[q] = par.cpuLanes[q].Clock()
+		}
+	}
+
+	machine, err := buildMachine(cfg, s, laneClocks)
 	if err != nil {
 		return nil, err
 	}
 	cpu := newCPUSet(s, machine)
+	if par != nil {
+		par.bind(machine.(*NativeMachine), cpu)
+	}
 
-	top := &streamTopology{sim: s, machine: machine, cpu: cpu}
+	top := &streamTopology{sim: s, machine: machine, cpu: cpu, par: par}
 
 	// One sender machine + link per NIC; per-queue interrupts go through
 	// the machine's NAPI poll lists to the owning CPU's scheduler slot.
 	machine.WireInterrupts(cpu.kick)
 	for i := 0; i < cfg.NICs; i++ {
-		sender := NewSender(s, cfg.SenderQuantum)
+		ls := s
+		if par != nil {
+			ls = par.linkLanes[i]
+		}
+		sender := NewSender(ls, cfg.SenderQuantum)
 		sender.MaxPayload = cfg.MessageSize
-		link := NewLink(s, sender, machine.NICs()[i])
+		link := NewLink(ls, sender, machine.NICs()[i])
 		link.CorruptOneIn = cfg.CorruptOneIn
 		link.ReorderOneIn = cfg.Reorder.OneIn
 		link.ReorderDistance = cfg.Reorder.Distance
-		machine.NICs()[i].OnTransmit = nicReverse(link, cpu)
+		if par != nil {
+			par.attachLink(i, link)
+		} else {
+			machine.NICs()[i].OnTransmit = nicReverse(link, cpu)
+		}
 		top.senders = append(top.senders, sender)
 		top.links = append(top.links, link)
 	}
@@ -669,8 +727,10 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	return top, nil
 }
 
-// buildMachine constructs the system under test.
-func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
+// buildMachine constructs the system under test. laneClocks, when
+// non-nil, arms the native machine's per-CPU execution contexts for the
+// parallel scheduler (never set for Xen).
+func buildMachine(cfg *StreamConfig, s *Sim, laneClocks []tcp.Clock) (Machine, error) {
 	aggOpts := core.DefaultOptions()
 	if cfg.AggLimit > 0 {
 		aggOpts.Aggregation.Limit = cfg.AggLimit
@@ -711,6 +771,7 @@ func buildMachine(cfg *StreamConfig, s *Sim) (Machine, error) {
 			Clock:         s.Clock(),
 			FlowRuleSlots: ruleSlots,
 			FlowLayout:    cfg.FlowLayout,
+			LaneClocks:    laneClocks,
 		})
 	case SystemXen:
 		params := cost.XenGuest()
@@ -764,6 +825,14 @@ type cpuSet struct {
 	rxBudget int
 	cpus     []*simCPU
 	current  *simCPU // CPU executing a round right now (nil outside)
+
+	// Parallel scheduler wiring (nil on the serial path): lanes[q] is CPU
+	// q's event lane, laneMeters[q] its private cycle-meter shard, par the
+	// executor (consulted for the barrier instant when a kick arrives from
+	// a global event rather than from lane context).
+	lanes      []*Sim
+	laneMeters []*cycles.Meter
+	par        *parSched
 }
 
 // simCPU is one softirq CPU's scheduler state.
@@ -773,12 +842,16 @@ type simCPU struct {
 	busyUntil  uint64
 	busyCycles uint64
 	roundBase  uint64 // meter total at round start
+	inRound    bool   // per-lane round marker (parallel scheduler)
+	roundFn    func() // pre-bound round closure (no per-kick allocation)
 }
 
 func newCPUSet(s *Sim, m Machine) *cpuSet {
 	cs := &cpuSet{sim: s, m: m, rxBudget: 64}
 	for i := 0; i < m.CPUs(); i++ {
-		cs.cpus = append(cs.cpus, &simCPU{id: i})
+		c := &simCPU{id: i}
+		c.roundFn = func() { cs.round(c) }
+		cs.cpus = append(cs.cpus, c)
 	}
 	return cs
 }
@@ -791,11 +864,29 @@ func (cs *cpuSet) kick(cpu int) {
 		return
 	}
 	c.scheduled = true
+	if cs.lanes != nil {
+		// The scheduling instant is the lane's own clock when the kick
+		// comes from lane context (ring apply, NAPI re-arm) and the merged
+		// barrier instant when it comes from a global event (timer sweep):
+		// exactly the serial schedule's "now" in both cases.
+		ln := cs.lanes[cpu]
+		now := ln.Now()
+		if b := cs.par.barrierNow; b > now {
+			now = b
+		}
+		at := now
+		if c.busyUntil > at {
+			at = c.busyUntil
+		}
+		ln.seq++
+		ln.ScheduleKeyed(at, now, ln.seq, c.roundFn)
+		return
+	}
 	at := cs.sim.Now()
 	if c.busyUntil > at {
 		at = c.busyUntil
 	}
-	cs.sim.Schedule(at, func() { cs.round(c) })
+	cs.sim.Schedule(at, c.roundFn)
 }
 
 // kickAll schedules a round on every CPU (timer sweeps, initial kick).
@@ -812,6 +903,25 @@ func (cs *cpuSet) kickAll() {
 // sets the batch size the aggregation engine sees).
 func (cs *cpuSet) round(c *simCPU) {
 	c.scheduled = false
+	if cs.lanes != nil {
+		// Lane round: the CPU's private meter shard measures the round and
+		// its own lane clock anchors busyUntil. The arithmetic is the same
+		// float64 expression over the same cycle counts as the serial
+		// branch, so the computed times are bit-identical.
+		meter := cs.laneMeters[c.id]
+		c.roundBase = meter.Total()
+		c.inRound = true
+		_, more := cs.m.ProcessRound(c.id, cs.rxBudget)
+		c.inRound = false
+		used := meter.Total() - c.roundBase
+		c.busyCycles += used
+		busyNs := uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
+		c.busyUntil = cs.lanes[c.id].Now() + busyNs
+		if more {
+			cs.kick(c.id)
+		}
+		return
+	}
 	meter := cs.m.MeterRef()
 	c.roundBase = meter.Total()
 	cs.current = c
@@ -869,5 +979,18 @@ func (cs *cpuSet) inRoundLatencyNs() uint64 {
 		return 0
 	}
 	used := cs.m.MeterRef().Total() - cs.current.roundBase
+	return uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
+}
+
+// inRoundLatencyOn is inRoundLatencyNs for one CPU lane: the same charge
+// measurement against the lane's private meter shard. Zero outside a round
+// on that lane (a sweep-time delayed ACK leaves immediately, exactly as it
+// does serially).
+func (cs *cpuSet) inRoundLatencyOn(cpu int) uint64 {
+	c := cs.cpus[cpu]
+	if !c.inRound {
+		return 0
+	}
+	used := cs.laneMeters[cpu].Total() - c.roundBase
 	return uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
 }

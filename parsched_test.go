@@ -1,0 +1,116 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parDetShapes enumerates one representative config per golden workload
+// shape grown so far: the single-queue regression lock, RSS multi-queue
+// scaling, flow churn, dynamic steering, the reorder fault injector, the
+// restart storm, connection-scale demux (both flow-table layouts), wire
+// corruption, and the Xen paravirtual path. Steering and Xen exercise the
+// documented serial fallback — ParallelScheduler must be a no-op there,
+// not an error and not a divergence.
+func parDetShapes() map[string]StreamConfig {
+	shapes := map[string]StreamConfig{}
+
+	for _, sys := range []SystemKind{SystemNativeUP, SystemNativeSMP, SystemXen} {
+		for _, opt := range []OptLevel{OptNone, OptFull} {
+			cfg := DefaultStreamConfig(sys, opt)
+			cfg.Queues = 1
+			shapes["n1/"+sys.String()+"/"+opt.String()] = cfg
+		}
+	}
+
+	rss := DefaultStreamConfig(SystemNativeUP, OptNone)
+	rss.NICs = 8
+	rss.Queues = 4
+	rss.Connections = 64
+	rss.FlowSkew = 1.1
+	shapes["rss/8nic-4q"] = rss
+
+	churn := DefaultStreamConfig(SystemNativeSMP, OptFull)
+	churn.NICs = 8
+	churn.Queues = 4
+	churn.Connections = 200
+	churn.FlowSkew = 1.2
+	churn.ChurnIntervalNs = 2_000_000
+	shapes["churn/200flow"] = churn
+
+	steer := DefaultStreamConfig(SystemNativeUP, OptFull)
+	steer.NICs = 8
+	steer.Queues = 4
+	steer.Connections = 200
+	steer.FlowSkew = 1.2
+	steer.Steering = SteerConfig{Enabled: true, ARFS: true}
+	shapes["steer/fallback"] = steer
+
+	reorder := DefaultStreamConfig(SystemNativeSMP, OptAggregation)
+	reorder.Queues = 2
+	reorder.Connections = 12
+	reorder.ReorderWindow = 8
+	reorder.Reorder = ReorderConfig{OneIn: 7, Distance: 3}
+	shapes["reorder/window8"] = reorder
+
+	storm := DefaultStreamConfig(SystemNativeSMP, OptFull)
+	storm.Queues = 4
+	storm.Connections = 24
+	storm.RestartStorm = RestartStormConfig{AtNs: 20_000_000, PrefillTimeWait: 5000}
+	storm.TimeWaitReuse = true
+	storm.MaxTimeWaitBuckets = 4096
+	shapes["storm/reuse"] = storm
+
+	for name, layout := range map[string]FlowLayout{
+		"open": LayoutOpenAddressed, "map": LayoutSeedMap,
+	} {
+		cs := DefaultStreamConfig(SystemNativeSMP, OptFull)
+		cs.Queues = 4
+		cs.Connections = 64
+		cs.RegisteredFlows = 50_000
+		cs.FlowLayout = layout
+		shapes["connscale/"+name] = cs
+	}
+
+	corrupt := DefaultStreamConfig(SystemNativeUP, OptFull)
+	corrupt.CorruptOneIn = 900
+	shapes["corrupt/retransmit"] = corrupt
+
+	xen := DefaultStreamConfig(SystemXen, OptFull)
+	xen.Queues = 2
+	xen.Connections = 16
+	shapes["xen/fallback-2q"] = xen
+
+	return shapes
+}
+
+// TestParallelSchedulerDeterminism is the tentpole's contract: for every
+// golden workload shape, ParallelScheduler=true must produce a
+// StreamResult that is field-for-field identical to the serial run — not
+// within tolerance, identical, down to float bit patterns and per-CPU
+// meter splits. Run under -race this also proves the lane partitioning
+// has no hidden shared state.
+func TestParallelSchedulerDeterminism(t *testing.T) {
+	for name, cfg := range parDetShapes() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg.DurationNs = 30_000_000
+			cfg.WarmupNs = 15_000_000
+
+			serial, err := RunStream(cfg)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			pcfg := cfg
+			pcfg.ParallelScheduler = true
+			par, err := RunStream(pcfg)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("serial vs parallel diverge:\n  serial:   %+v\n  parallel: %+v", serial, par)
+			}
+		})
+	}
+}
