@@ -43,11 +43,12 @@ import (
 	"repro"
 	"repro/internal/memmodel"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 var (
 	experiment = flag.String("experiment", "all",
-		"experiment to run: all, fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, limit1, rss, churn, steer, smallmsg, reorder, restartstorm, connscale")
+		"experiment to run: all, fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, table1, limit1, rss, churn, steer, smallmsg, reorder, restartstorm, connscale, rr")
 	duration = flag.Duration("duration", 150*time.Millisecond, "measured virtual duration per run")
 	warmup   = flag.Duration("warmup", 40*time.Millisecond, "virtual warm-up before measurement")
 	sysFlag  = flag.String("sys", "up",
@@ -64,6 +65,8 @@ var (
 		"write a CPU profile of the whole invocation to this file")
 	memProfile = flag.String("memprofile", "",
 		"write a heap profile (after the final run) to this file")
+	traceOut = flag.String("trace", "",
+		"write a Chrome trace (chrome://tracing / Perfetto) of the invocation's final stream run to this file; enables span telemetry on every run (observation cost is zero — results are unchanged)")
 )
 
 // runRecord is one stream run's machine-readable result.
@@ -100,6 +103,11 @@ type runRecord struct {
 	// ever lingered); Storm summarizes restart-storm activity.
 	TimeWait *repro.TimeWaitStats `json:"timewait,omitempty"`
 	Storm    *repro.StormReport   `json:"storm,omitempty"`
+	// Latency is the per-message latency telemetry (present whenever the
+	// run collected it — always for the rr incast experiment); RPCRounds
+	// counts its completed request bursts.
+	Latency   *repro.LatencyReport `json:"latency,omitempty"`
+	RPCRounds uint64               `json:"rpc_rounds,omitempty"`
 	// Error marks a sweep point whose run failed; the metric fields are
 	// zero and the remaining points of the sweep are still valid.
 	Error string `json:"error,omitempty"`
@@ -111,6 +119,9 @@ var (
 	// pointFailures counts sweep points that failed (reported in-table
 	// and in JSON rather than aborting the sweep; nonzero exit at the end).
 	pointFailures int
+	// traceSpans holds the final stream run's span timeline when -trace
+	// is set.
+	traceSpans []repro.Span
 )
 
 func main() {
@@ -169,15 +180,17 @@ func main() {
 		"reorder":      reorderExperiment,
 		"restartstorm": restartStorm,
 		"connscale":    connScale,
+		"rr":           rrIncast,
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7",
 			"fig8", "fig9", "fig10", "fig11", "fig12", "table1", "limit1", "rss", "churn",
-			"steer", "smallmsg", "reorder", "restartstorm", "connscale"} {
+			"steer", "smallmsg", "reorder", "restartstorm", "connscale", "rr"} {
 			curExperiment = name
 			runners[name]()
 			fmt.Println()
 		}
+		writeTrace()
 		emitJSON(jsonDest)
 		return
 	}
@@ -189,7 +202,33 @@ func main() {
 	}
 	curExperiment = *experiment
 	run()
+	writeTrace()
 	emitJSON(jsonDest)
+}
+
+// writeTrace validates and writes the captured span timeline when -trace
+// is set. Validation runs before the file is written, so a malformed
+// trace fails the invocation instead of landing on disk.
+func writeTrace() {
+	if *traceOut == "" {
+		return
+	}
+	if traceSpans == nil {
+		log.Fatal("-trace: no stream run produced spans")
+	}
+	var buf strings.Builder
+	if err := telemetry.WriteChromeTrace(&buf, traceSpans); err != nil {
+		log.Fatal(err)
+	}
+	complete, err := telemetry.ValidateChromeTrace([]byte(buf.String()))
+	if err != nil {
+		log.Fatalf("-trace: generated trace is invalid: %v", err)
+	}
+	if err := os.WriteFile(*traceOut, []byte(buf.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rxbench: wrote %d spans (%d complete events) to %s\n",
+		len(traceSpans), complete, *traceOut)
 }
 
 // emitJSON writes the collected run records when -json is set.
@@ -224,6 +263,10 @@ func stream(cfg repro.StreamConfig) repro.StreamResult {
 	cfg.DurationNs = uint64(duration.Nanoseconds())
 	cfg.WarmupNs = uint64(warmup.Nanoseconds())
 	cfg.ParallelScheduler = *parSched
+	if *traceOut != "" {
+		cfg.Telemetry.Latency, cfg.Telemetry.Spans = true, true
+		cfg.Telemetry.SpanSink = func(s []repro.Span) { traceSpans = s }
+	}
 	res, err := repro.RunStream(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -244,6 +287,17 @@ func streamMany(cfgs []repro.StreamConfig) ([]repro.StreamResult, []error) {
 		cfgs[i].DurationNs = uint64(duration.Nanoseconds())
 		cfgs[i].WarmupNs = uint64(warmup.Nanoseconds())
 		cfgs[i].ParallelScheduler = *parSched
+	}
+	// With -trace every point records spans into its own slot (workers
+	// never share one), and the final point's timeline wins.
+	var spanBufs [][]repro.Span
+	if *traceOut != "" {
+		spanBufs = make([][]repro.Span, len(cfgs))
+		for i := range cfgs {
+			i := i
+			cfgs[i].Telemetry.Latency, cfgs[i].Telemetry.Spans = true, true
+			cfgs[i].Telemetry.SpanSink = func(s []repro.Span) { spanBufs[i] = s }
+		}
 	}
 	results := make([]repro.StreamResult, len(cfgs))
 	errs := make([]error, len(cfgs))
@@ -279,6 +333,12 @@ func streamMany(cfgs []repro.StreamConfig) ([]repro.StreamResult, []error) {
 			continue
 		}
 		record(cfgs[i], results[i])
+	}
+	for i := len(spanBufs) - 1; i >= 0; i-- {
+		if spanBufs[i] != nil {
+			traceSpans = spanBufs[i]
+			break
+		}
 	}
 	return results, errs
 }
@@ -328,6 +388,11 @@ func record(cfg repro.StreamConfig, res repro.StreamResult) {
 	if res.TimeWait.Entered > 0 {
 		tw := res.TimeWait
 		r.TimeWait = &tw
+	}
+	if res.Latency.Enabled {
+		lat := res.Latency
+		r.Latency = &lat
+		r.RPCRounds = res.RPCRounds
 	}
 	if cfg.RegisteredFlows > 0 || cfg.FlowLayout != repro.LayoutOpenAddressed {
 		r.Layout = cfg.FlowLayout.String()
@@ -754,6 +819,45 @@ func connScale() {
 	}
 	fmt.Println("(open: probe runs stream ~1 line, cycles/byte stays flat as the table dwarfs the cache;")
 	fmt.Println(" map: four dependent chased lines per lookup — the per-packet cost grows with population)")
+}
+
+// rrIncast is the request/response incast experiment: the receiver fires
+// synchronized request bursts at a growing fan-in of senders over one
+// shared link, and the telemetry collector's RTT histogram measures how
+// the burst's tail stretches — the last response queues behind fan-in−1
+// others on the wire and in the receive path, so p99 grows with fan-in
+// while the median barely moves. Swept over fan-in × message size;
+// -sys selects native or the Xen paravirtual path.
+func rrIncast() {
+	sys := benchSystem()
+	fmt.Printf("Incast request/response (%s, 1 link, synchronized bursts, RTT per message)\n", sys)
+	fmt.Printf("%-7s %-7s %8s %9s %9s %9s %9s %8s\n",
+		"fan-in", "msg", "rounds", "p50 µs", "p99 µs", "p999 µs", "max µs", "Mb/s")
+	var cfgs []repro.StreamConfig
+	for _, fanin := range []int{4, 16, 64} {
+		for _, size := range []int{256, 1448, 4344} {
+			cfg := repro.DefaultStreamConfig(sys, repro.OptFull)
+			cfg.NICs = 1
+			cfg.Connections = fanin
+			cfg.RPC = repro.RPCConfig{Enabled: true, MessageBytes: size}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, errs := streamMany(cfgs)
+	for i, res := range results {
+		cfg := cfgs[i]
+		if errs[i] != nil {
+			fmt.Printf("%-7d %-7d FAILED: %v\n", cfg.Connections, cfg.RPC.MessageBytes, errs[i])
+			continue
+		}
+		rtt := res.Latency.RTT
+		us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+		fmt.Printf("%-7d %-7d %8d %9.1f %9.1f %9.1f %9.1f %8.0f\n",
+			cfg.Connections, cfg.RPC.MessageBytes, res.RPCRounds,
+			us(rtt.P50Ns), us(rtt.P99Ns), us(rtt.P999Ns), us(rtt.MaxNs),
+			res.ThroughputMbps)
+	}
+	fmt.Println("(p99 tracks the burst width: the last message of a fan-in-N burst waited for N−1 others)")
 }
 
 func limit1() {

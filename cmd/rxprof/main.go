@@ -46,6 +46,8 @@ var (
 		"total registered endpoints including an idle population beyond -conns (0 = active connections only); the connscale axis")
 	layout = flag.String("layout", "open",
 		"flow-table shard layout: open (cache-conscious open addressing), map (seed-style Go map baseline)")
+	latency = flag.Bool("latency", false,
+		"collect per-message latency telemetry and print the per-stage residency breakdown (wire/ring/softirq/stack/socket)")
 )
 
 // histogramThreshold is the registered population beyond which the
@@ -95,6 +97,9 @@ func main() {
 	if *steer {
 		cfg.Steering = repro.SteerConfig{Enabled: true, ARFS: true}
 	}
+	if *latency {
+		cfg.Telemetry.Latency = true
+	}
 	res, err := repro.RunStream(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -120,6 +125,43 @@ func main() {
 	if *agg {
 		fmt.Println()
 		printAggEngines(res)
+	}
+	if *latency {
+		fmt.Println()
+		printLatency(res)
+	}
+}
+
+// printLatency renders the per-stage residency breakdown: where a
+// delivered message's end-to-end latency was spent, stage by stage. The
+// five stages partition the e2e time exactly (the share column sums to
+// 100%), so a fat stage is a real place to look, not an artifact of
+// overlapping intervals.
+func printLatency(res repro.StreamResult) {
+	lat := res.Latency
+	if !lat.Enabled || lat.E2E.Count == 0 {
+		fmt.Println("latency: no samples collected")
+		return
+	}
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	fmt.Printf("latency per delivered message (%d samples, µs):\n", lat.E2E.Count)
+	fmt.Printf("%-9s %9s %9s %9s %9s %9s %7s\n",
+		"stage", "mean", "p50", "p99", "p999", "max", "share")
+	for _, s := range lat.Stages {
+		share := 0.0
+		if lat.E2E.SumNs > 0 {
+			share = float64(s.SumNs) * 100 / float64(lat.E2E.SumNs)
+		}
+		fmt.Printf("%-9s %9.1f %9.1f %9.1f %9.1f %9.1f %6.1f%%\n",
+			s.Stage, us(s.MeanNs), us(s.P50Ns), us(s.P99Ns), us(s.P999Ns), us(s.MaxNs), share)
+	}
+	e := lat.E2E
+	fmt.Printf("%-9s %9.1f %9.1f %9.1f %9.1f %9.1f %7s\n",
+		"e2e", us(e.MeanNs), us(e.P50Ns), us(e.P99Ns), us(e.P999Ns), us(e.MaxNs), "100%")
+	if lat.RTT.Count > 0 {
+		r := lat.RTT
+		fmt.Printf("%-9s %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+			"rtt", us(r.MeanNs), us(r.P50Ns), us(r.P99Ns), us(r.P999Ns), us(r.MaxNs))
 	}
 }
 

@@ -210,6 +210,12 @@ type Engine struct {
 	// network stack. Must be set before Input is called.
 	Out func(*buf.SKB)
 
+	// Clock, when set, supplies the simulated-ns time used to stamp each
+	// host packet's aggregation-close boundary (internal/telemetry). It
+	// reads the clock only — no charge, no scheduling — so wiring it
+	// cannot perturb the run.
+	Clock func() uint64
+
 	table map[FlowKey]*pending
 	order []FlowKey // insertion order for eviction and FlushAll
 
@@ -536,6 +542,7 @@ func (e *Engine) newPending(key FlowKey, f nic.Frame, ih *ipv4.Header, th *tcpwi
 	skb.CsumVerified = true
 	skb.RSSHash = f.RSSHash
 	skb.FirstAck = th.Ack
+	skb.SentNs, skb.ArriveNs, skb.DequeueNs = f.SentNs, f.ArriveNs, f.DequeueNs
 	return &pending{
 		key:     key,
 		skb:     skb,
@@ -654,6 +661,9 @@ func (e *Engine) deliver(p *pending) {
 		e.meter.Charge(cycles.Aggr, e.params.AggrPerAggregate)
 		e.rewriteHeader(p)
 		skb.Aggregated = true
+	}
+	if e.Clock != nil {
+		skb.AggCloseNs = e.Clock()
 	}
 	e.stats.HostOut++
 	if e.Out == nil {
@@ -784,6 +794,10 @@ func (e *Engine) passthrough(f nic.Frame) {
 	skb := e.alloc.NewData(f.Data, ether.HeaderLen)
 	skb.CsumVerified = f.RxCsumOK
 	skb.RSSHash = f.RSSHash
+	skb.SentNs, skb.ArriveNs, skb.DequeueNs = f.SentNs, f.ArriveNs, f.DequeueNs
+	if e.Clock != nil {
+		skb.AggCloseNs = e.Clock()
+	}
 	e.stats.HostOut++
 	if e.Out == nil {
 		panic("aggregate: Out not wired")

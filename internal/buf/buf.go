@@ -74,6 +74,19 @@ type SKB struct {
 	// driver.
 	TemplateAcks []uint32
 
+	// Stage-boundary stamps (internal/telemetry), in simulated ns, carried
+	// from the head constituent frame: sender transmit start, NIC ring
+	// arrival, driver softirq dequeue, aggregation close, and stack TCP
+	// demux entry. Zero = the boundary was not crossed (or stamping is
+	// unwired). Stamping is an unconditional value write on the hot path;
+	// it charges no cycles and schedules nothing, so the stamps exist
+	// whether or not telemetry reads them.
+	SentNs     uint64
+	ArriveNs   uint64
+	DequeueNs  uint64
+	AggCloseNs uint64
+	StackInNs  uint64
+
 	alloc *Allocator
 	freed bool
 }

@@ -92,6 +92,11 @@ type Driver struct {
 	// barrier time it delivers directly with the lane's context. The hook
 	// owns the NIC TxFrames accounting.
 	TxFrame func(nic.Frame)
+	// StampClock, when set, supplies the simulated-ns time used to stamp
+	// each polled frame's softirq-dequeue boundary (internal/telemetry).
+	// Stamping reads the clock only — it charges nothing and schedules
+	// nothing, so wiring it cannot perturb the run.
+	StampClock func() uint64
 
 	stats Stats
 
@@ -140,6 +145,9 @@ func (d *Driver) Poll(budget int) int {
 			d.params.DriverRxFixed+d.params.Mem.RandomTouchCost(d.params.DriverDescLines))
 		// Packet-memory management happens per frame in both modes.
 		d.alloc.ChargeFrameBuf()
+		if d.StampClock != nil {
+			f.DequeueNs = d.StampClock()
+		}
 
 		switch d.mode {
 		case ModeBaseline:
@@ -149,6 +157,7 @@ func (d *Driver) Poll(budget int) int {
 			skb := d.alloc.NewData(f.Data, ether.HeaderLen)
 			skb.CsumVerified = f.RxCsumOK
 			skb.RSSHash = f.RSSHash
+			skb.SentNs, skb.ArriveNs, skb.DequeueNs = f.SentNs, f.ArriveNs, f.DequeueNs
 			if d.DeliverSKB != nil {
 				d.stats.SKBsDelivered++
 				d.DeliverSKB(skb)

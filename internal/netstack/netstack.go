@@ -132,6 +132,10 @@ type Stack struct {
 	// softirq CPU; OutputOn(cpu) routes through TxOn[cpu] so concurrent
 	// lanes never share a transmit driver.
 	TxOn []Transmitter
+	// StampClock, when set, supplies the simulated-ns time (as seen by the
+	// delivering softirq CPU) used to stamp each host packet's stack-entry
+	// boundary (internal/telemetry). Read-only: no charge, no scheduling.
+	StampClock func(cpu int) uint64
 
 	table *FlowTable
 	tw    *timeWaitTable
@@ -294,6 +298,9 @@ func (s *Stack) inputFrom(cpu int, skb *buf.SKB) {
 		payloadScratch, ackScratch = &ln.payloads, &ln.fragAcks
 	}
 
+	if s.StampClock != nil {
+		skb.StackInNs = s.StampClock(cpu)
+	}
 	st.HostPacketsIn++
 	st.NetPacketsIn += uint64(skb.NetPackets)
 

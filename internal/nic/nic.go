@@ -41,6 +41,14 @@ type Frame struct {
 	RSSHash uint32
 	// RxQueue is the receive queue the frame arrived on.
 	RxQueue int
+	// SentNs/ArriveNs/DequeueNs are the frame's stage-boundary stamps in
+	// simulated ns (internal/telemetry): sender transmit start, ring
+	// arrival, driver softirq dequeue. They ride the Frame value through
+	// ring slots, recorded commands and the raw aggregation queue; zero
+	// means unstamped.
+	SentNs    uint64
+	ArriveNs  uint64
+	DequeueNs uint64
 }
 
 // Caps describes NIC hardware offload capabilities.

@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/ether"
 	"repro/internal/nic"
+	"repro/internal/telemetry"
 )
 
 // Link is one full-duplex Gigabit Ethernet segment between a sender
@@ -75,11 +76,18 @@ type Link struct {
 	// method-value binding each time was a measurable allocation source.
 	transmitFn func()
 
-	// Reorder-injector state: the withheld frame and how many deliveries
-	// remain before it is released.
-	reorderCount int
-	displaced    []byte
-	displaceLeft int
+	// Reorder-injector state: the withheld frame (with its transmit-start
+	// stamp) and how many deliveries remain before it is released.
+	reorderCount  int
+	displaced     []byte
+	displacedSent uint64
+	displaceLeft  int
+
+	// spanLane/spanTrack, when wired (buildStream, tracing enabled),
+	// record one wire-occupancy span per forward frame. Recording reads
+	// the clock only; it never schedules (telemetry invariant).
+	spanLane  *telemetry.SpanLane
+	spanTrack string
 }
 
 // LinkStats counts link activity.
@@ -179,6 +187,8 @@ func (l *Link) transmitNext() {
 	l.busy = true
 	l.inFlight++
 	wire := l.wireTimeNs(len(frame))
+	sentNs := l.sim.Now() // transmit start: the frame's StageWire boundary
+	l.spanLane.Record(l.spanTrack, "tx", sentNs, wire)
 	// Wire becomes free after serialization; the frame lands at the
 	// receiver one propagation delay later.
 	l.sim.After(wire, l.wireFreeFn)
@@ -190,7 +200,7 @@ func (l *Link) transmitNext() {
 			frame[len(frame)-1] ^= 0x01
 			l.stats.Corrupted++
 		}
-		l.deliverForward(frame)
+		l.deliverForward(frame, sentNs)
 		if l.inFlight == 0 && !l.busy {
 			l.releaseDisplaced()
 			l.dst.FlushInterrupt()
@@ -201,13 +211,13 @@ func (l *Link) transmitNext() {
 // deliverForward hands a frame to the receiver NIC, applying the reorder
 // injector: every ReorderOneIn-th frame is withheld and re-injected after
 // ReorderDistance later frames have been delivered.
-func (l *Link) deliverForward(frame []byte) {
+func (l *Link) deliverForward(frame []byte, sentNs uint64) {
 	if l.ReorderOneIn <= 0 {
-		l.deliver(frame)
+		l.deliver(frame, sentNs)
 		return
 	}
 	if l.displaced != nil {
-		l.deliver(frame)
+		l.deliver(frame, sentNs)
 		l.displaceLeft--
 		if l.displaceLeft <= 0 {
 			l.releaseDisplaced()
@@ -217,13 +227,14 @@ func (l *Link) deliverForward(frame []byte) {
 	l.reorderCount++
 	if l.reorderCount%l.ReorderOneIn == 0 {
 		l.displaced = frame
+		l.displacedSent = sentNs
 		l.displaceLeft = l.ReorderDistance
 		if l.displaceLeft <= 0 {
 			l.displaceLeft = 1 // adjacent swap
 		}
 		return
 	}
-	l.deliver(frame)
+	l.deliver(frame, sentNs)
 }
 
 // releaseDisplaced injects the withheld frame, if any.
@@ -231,17 +242,18 @@ func (l *Link) releaseDisplaced() {
 	if l.displaced == nil {
 		return
 	}
-	f := l.displaced
+	f, sent := l.displaced, l.displacedSent
 	l.displaced = nil
 	l.stats.Reordered++
-	l.deliver(f)
+	l.deliver(f, sent)
 }
 
-// deliver is the actual handoff into the receiver's ring.
-func (l *Link) deliver(frame []byte) {
+// deliver is the actual handoff into the receiver's ring, stamping the
+// frame's wire interval (transmit start and arrival).
+func (l *Link) deliver(frame []byte, sentNs uint64) {
 	l.stats.FramesDelivered++
 	l.stats.BytesDelivered += uint64(len(frame))
-	l.dst.ReceiveFromWire(nic.Frame{Data: frame})
+	l.dst.ReceiveFromWire(nic.Frame{Data: frame, SentNs: sentNs, ArriveNs: l.sim.Now()})
 }
 
 // DeliverReverse carries a receiver-transmitted frame back to the sender

@@ -13,6 +13,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/rss"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 )
 
 // Machine is the interface the simulation drives: implemented by the
@@ -75,6 +76,14 @@ type Machine interface {
 	Endpoints() []*tcp.Endpoint
 	HostPacketsIn() uint64
 	NetFramesIn() uint64
+	// SetTelemetry arms latency observation: stampClock(cpu) supplies the
+	// simulated-ns stamp clock for work executing on that CPU, wired into
+	// every driver, aggregation engine and the stack so frames carry their
+	// stage-boundary times; when col is non-nil, endpoints registered from
+	// then on record per-stage residencies into the lane of the CPU that
+	// owns their flow. Observation only: stamping reads the clock, it
+	// never charges a cycle or schedules an event.
+	SetTelemetry(col *telemetry.Collector, stampClock func(cpu int) uint64)
 }
 
 // NativeMode selects the native receiver's path configuration.
@@ -159,6 +168,11 @@ type NativeMachine struct {
 	// every NIC's indirection lookup and the flow table's ownership
 	// accounting; its round-robin initial fill is the static RSS spread.
 	steerMap *rss.Map
+
+	// Telemetry wiring (nil when off): the latency collector endpoints
+	// record into, and the per-CPU stamp clock behind every stage stamp.
+	telCol     *telemetry.Collector
+	stampClock func(cpu int) uint64
 }
 
 // NewNative assembles a native machine.
@@ -275,6 +289,31 @@ func NewNative(cfg NativeConfig) (*NativeMachine, error) {
 		m.Stack.TxOn = txOn
 	}
 	return m, nil
+}
+
+// SetTelemetry wires the machine's stage-stamp clocks and latency
+// collector. Receive drivers stamp softirq dequeue with their own queue's
+// clock, aggregation engines stamp aggregate close, and the stack stamps
+// stack entry; endpoints registered after this call record into col (when
+// non-nil). All of it reads clocks only — nothing here can perturb the
+// schedule or the charged cycles.
+func (m *NativeMachine) SetTelemetry(col *telemetry.Collector, stampClock func(cpu int) uint64) {
+	m.telCol = col
+	m.stampClock = stampClock
+	if stampClock == nil {
+		return
+	}
+	for ni := range m.drvs {
+		for q := range m.drvs[ni] {
+			qq := q
+			m.drvs[ni][q].StampClock = func() uint64 { return stampClock(qq) }
+		}
+	}
+	for cpu, rp := range m.rps {
+		c := cpu
+		rp.Engine().Clock = func() uint64 { return stampClock(c) }
+	}
+	m.Stack.StampClock = stampClock
 }
 
 // laneMeter returns the charging meter for work attributed to cpu: the
@@ -502,6 +541,14 @@ func (m *NativeMachine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]
 		owner := m.steerMap.Queue(rss.HashTCP4(remoteIP, localIP, remotePort, localPort))
 		ep.Rebind(m.laneMeters[owner], m.laneAllocs[owner], m.cfg.LaneClocks[owner])
 		ep.Output = m.Stack.OutputOn(owner)
+	}
+	if m.telCol != nil {
+		// The flow's frames all arrive on the queue its steering bucket
+		// owns, so its latency samples land in that CPU's shard — lane-
+		// local under the parallel scheduler, merged deterministically.
+		owner := m.steerMap.Queue(rss.HashTCP4(remoteIP, localIP, remotePort, localPort))
+		sc := m.stampClock
+		ep.SetLatencyRecorder(m.telCol.Lane(owner), func() uint64 { return sc(owner) })
 	}
 	m.eps = append(m.eps, ep)
 	return nil

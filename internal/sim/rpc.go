@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ipv4"
+	"repro/internal/rss"
+	"repro/internal/tcp"
+	"repro/internal/telemetry"
+)
+
+// This file is the request/response incast workload (StreamConfig.RPC):
+// the receiver machine — the system under test — issues synchronized
+// request bursts to many senders, one connection per sender, and every
+// sender answers at once with a MessageBytes response. The responses
+// converge on the receiver's NICs simultaneously (the incast pattern), so
+// the burst's last message queues behind fan-in−1 others on the shared
+// wire and in the receive path; the per-message RTT distribution the
+// telemetry collector records is therefore a direct latency probe of the
+// receive path under fan-in pressure (tail grows with fan-in).
+//
+// The ping-pong self-clocks exactly like netperf RR (sim/rr.go): each
+// response carries the cumulative ACK of the request that triggered it,
+// and each next request ACKs the previous response, so progress never
+// waits on a delayed-ACK timer. A global poll event checks burst
+// completion; it only gates when the *next* burst fires — RTTs are
+// measured from the burst instant itself, so poll quantization never
+// inflates a sample.
+
+// rpcConn is one fan-in connection of the incast workload.
+type rpcConn struct {
+	rep   *tcp.Endpoint // receiver-side endpoint (issues the requests)
+	owner int           // CPU lane owning the flow (= its RSS queue)
+
+	// reqSentNs is the burst instant (written by the global burst event,
+	// which runs at a scheduler barrier; read from the owner lane's
+	// context). got/done accumulate the response strictly on the owner
+	// lane; the global poll reads done only at the next barrier.
+	reqSentNs uint64
+	got       uint64
+	done      bool
+}
+
+// rpcDriver owns the incast workload's connections and burst machinery.
+type rpcDriver struct {
+	top      *streamTopology
+	cfg      *StreamConfig
+	reqBytes int
+	msgBytes int
+	pollNs   uint64
+	conns    []*rpcConn
+	// rounds counts completed bursts (every connection's response fully
+	// read) over the whole run.
+	rounds uint64
+}
+
+// newRPCDriver opens the fan-in connections, fires the first burst and
+// arms the completion poll.
+func newRPCDriver(top *streamTopology, cfg *StreamConfig) (*rpcDriver, error) {
+	r := &rpcDriver{
+		top:      top,
+		cfg:      cfg,
+		reqBytes: cfg.RPC.RequestBytes,
+		msgBytes: cfg.RPC.MessageBytes,
+		pollNs:   cfg.RPC.PollNs,
+	}
+	if r.reqBytes == 0 {
+		r.reqBytes = 64
+	}
+	if r.msgBytes == 0 {
+		r.msgBytes = 1448
+	}
+	if r.pollNs == 0 {
+		r.pollNs = 50_000
+	}
+	for c := 0; c < cfg.Connections; c++ {
+		if err := r.openConn(c); err != nil {
+			return nil, err
+		}
+	}
+	r.fireBurst()
+	top.sim.After(r.pollNs, r.poll)
+	return r, nil
+}
+
+// openConn wires fan-in connection c: the flowGen addressing scheme
+// (sender 10.0.<n>.1 on NIC n = c mod NICs), a sender endpoint that
+// echoes requests with responses, and a receiver endpoint that issues
+// requests and measures each response's RTT on arrival.
+func (r *rpcDriver) openConn(c int) error {
+	top, cfg := r.top, r.cfg
+	n := c % cfg.NICs
+	port := c / cfg.NICs
+	if 5001+port >= churnSenderPortBase || 44000+port >= churnReceiverPortBase {
+		return fmt.Errorf("sim: RPC connection %d exceeds the per-link port range", c)
+	}
+	senderIP := ipv4.Addr{10, 0, byte(n), 1}
+	rcvIP := ipv4.Addr{10, 0, byte(n), 2}
+	sPort, rPort := uint16(5001+port), uint16(44000+port)
+
+	sep, err := top.senders[n].AddConn(senderIP, rcvIP, sPort, rPort)
+	if err != nil {
+		return err
+	}
+
+	rcfg := tcp.DefaultConfig()
+	rcfg.LocalIP, rcfg.RemoteIP = rcvIP, senderIP
+	rcfg.LocalPort, rcfg.RemotePort = rPort, sPort
+	rcfg.AckOffload = cfg.Opt == OptFull
+	rep, err := tcp.New(rcfg, top.machine.MeterRef(), top.machine.ParamsRef(),
+		top.machine.AllocRef(), top.sim.Clock())
+	if err != nil {
+		return err
+	}
+	if err := top.machine.RegisterEndpoint(rep, senderIP, rcvIP, sPort, rPort); err != nil {
+		return err
+	}
+
+	conn := &rpcConn{rep: rep,
+		owner: top.machine.SteerMap().Queue(rss.HashTCP4(senderIP, rcvIP, sPort, rPort))}
+
+	// Sender application: one MessageBytes response per complete request.
+	// No explicit link kick is needed — the sender machine kicks the link
+	// after every received frame, and the response data carries the
+	// request's ACK (the rr.go pattern).
+	req, msg := uint64(r.reqBytes), uint64(r.msgBytes)
+	var reqGot uint64
+	sep.AppSink = func(b []byte) {
+		reqGot += uint64(len(b))
+		for reqGot >= req {
+			reqGot -= req
+			sep.AppWrite(msg)
+		}
+	}
+
+	// Receiver application: accumulate the response on the owner lane; the
+	// byte that completes the message defines its RTT. stampNowOn is the
+	// same clock the stage stamps use, so the sample lands at the instant
+	// the socket read returns in simulated time.
+	var lane *telemetry.StageSet
+	if top.col != nil {
+		lane = top.col.Lane(conn.owner)
+	}
+	cs := top.cpu
+	rep.AppSink = func(b []byte) {
+		if conn.done {
+			return
+		}
+		conn.got += uint64(len(b))
+		if conn.got >= msg {
+			conn.done = true
+			if lane != nil {
+				lane.RecordRTT(cs.stampNowOn(conn.owner) - conn.reqSentNs)
+			}
+		}
+	}
+	r.conns = append(r.conns, conn)
+	return nil
+}
+
+// fireBurst issues one request on every connection at the current global
+// instant. It runs in global-event context (construction time or the
+// completion poll), which the parallel scheduler executes at a barrier —
+// so the synchronized burst is race-free and identically timed on both
+// schedulers.
+func (r *rpcDriver) fireBurst() {
+	now := r.top.sim.Now()
+	for _, c := range r.conns {
+		c.got, c.done = 0, false
+		c.reqSentNs = now
+		c.rep.AppWrite(uint64(r.reqBytes))
+		for c.rep.SendDataSKB(0) {
+		}
+	}
+}
+
+// poll fires the next burst once every connection has fully read its
+// response, then re-arms itself.
+func (r *rpcDriver) poll() {
+	all := true
+	for _, c := range r.conns {
+		if !c.done {
+			all = false
+			break
+		}
+	}
+	if all {
+		r.rounds++
+		r.fireBurst()
+	}
+	r.top.sim.After(r.pollNs, r.poll)
+}

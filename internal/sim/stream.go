@@ -10,6 +10,7 @@ import (
 	"repro/internal/netstack"
 	"repro/internal/nic"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/xenvirt"
 )
 
@@ -170,6 +171,15 @@ type StreamConfig struct {
 	// dynamic steering (bucket ownership changes mid-run) — fall back to
 	// the serial path. Off (the default) leaves the serial path untouched.
 	ParallelScheduler bool
+	// Telemetry selects the run's observation outputs (latency histograms,
+	// activity spans). Observation cost is zero by construction — it reads
+	// the clock, it never schedules — so enabling it changes no throughput
+	// or cycle field of the result; it only fills Latency and feeds
+	// SpanSink.
+	Telemetry TelemetryConfig
+	// RPC, when enabled, replaces the bulk streams with the
+	// request/response incast workload (implies Telemetry.Latency).
+	RPC RPCConfig
 }
 
 // RestartStormConfig tunes the restart-storm workload: a near-
@@ -337,6 +347,14 @@ type StreamResult struct {
 	// (endpoint slabs + TIME_WAIT entries + demux structure, with the
 	// run's peak).
 	Mem netstack.MemStats
+	// Latency is the run's per-message latency telemetry (zero value with
+	// Latency.Enabled false when telemetry was off): end-to-end and
+	// per-stage residency histograms over the measured interval, plus the
+	// RPC round-trip distribution when the RPC workload ran.
+	Latency telemetry.LatencyReport
+	// RPCRounds counts completed request bursts of the measured interval
+	// (RPC workload only).
+	RPCRounds uint64
 }
 
 // SteerReport summarizes a run's dynamic-steering activity.
@@ -424,7 +442,10 @@ type streamTopology struct {
 	churn    *churner
 	storm    *stormController
 	steer    *steerController
-	par      *parSched // non-nil when the parallel scheduler is active
+	par      *parSched               // non-nil when the parallel scheduler is active
+	col      *telemetry.Collector    // latency histograms (nil: off)
+	spans    *telemetry.SpanRecorder // activity spans (nil: off)
+	rpc      *rpcDriver              // incast workload (nil: bulk streams)
 }
 
 // runUntil advances the experiment to virtual time t: the serial event
@@ -453,8 +474,21 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	if err != nil {
 		return StreamResult{}, err
 	}
-	// Warm-up, snapshot, measure.
+	// Warm-up, snapshot, measure. Telemetry recorders reset at the
+	// warm-up boundary so histograms and spans cover exactly the measured
+	// interval (resetting only clears observation state — it cannot move
+	// an event or a cycle).
 	top.runUntil(cfg.WarmupNs)
+	if top.col != nil {
+		top.col.Reset()
+	}
+	if top.spans != nil {
+		top.spans.Reset()
+	}
+	var startRounds uint64
+	if top.rpc != nil {
+		startRounds = top.rpc.rounds
+	}
 	startSnap := machineSnapshot(top.machine)
 	startBytes := appBytes(top.machine)
 	startFrames := top.machine.NetFramesIn()
@@ -534,6 +568,15 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	for _, l := range top.links {
 		res.ReorderedFrames += l.Stats().Reordered
 	}
+	if top.col != nil {
+		res.Latency = top.col.Report()
+	}
+	if top.rpc != nil {
+		res.RPCRounds = top.rpc.rounds - startRounds
+	}
+	if top.spans != nil && cfg.Telemetry.SpanSink != nil {
+		cfg.Telemetry.SpanSink(top.spans.Drain())
+	}
 	return res, nil
 }
 
@@ -598,6 +641,19 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	if cfg.MaxTimeWaitBuckets < 0 {
 		return nil, fmt.Errorf("sim: MaxTimeWaitBuckets %d must be non-negative", cfg.MaxTimeWaitBuckets)
 	}
+	if cfg.RPC.Enabled {
+		if cfg.RPC.RequestBytes < 0 || cfg.RPC.MessageBytes < 0 {
+			return nil, fmt.Errorf("sim: negative RPC sizes %+v", cfg.RPC)
+		}
+		if cfg.ChurnIntervalNs != 0 || cfg.RestartStorm.AtNs != 0 ||
+			cfg.Steering.steeringActive() || cfg.FlowSkew != 0 ||
+			cfg.RegisteredFlows != 0 || cfg.MessageSize != 0 {
+			return nil, fmt.Errorf("sim: the RPC workload is incompatible with churn, storm, steering, skew, connscale and MessageSize knobs")
+		}
+		// The workload exists to measure latency; the histograms are its
+		// output.
+		cfg.Telemetry.Latency = true
+	}
 	s := NewSim()
 
 	// The parallel scheduler needs the lane Sims before any component is
@@ -630,6 +686,21 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 
 	top := &streamTopology{sim: s, machine: machine, cpu: cpu, par: par}
 
+	// Observation plumbing. The stamp clock and recorders only read the
+	// lane clocks and meters — wiring them schedules nothing and charges
+	// nothing, so a run with telemetry on stays bit-identical to the same
+	// run with it off.
+	if cfg.Telemetry.Latency {
+		top.col = telemetry.NewCollector(machine.CPUs())
+	}
+	if cfg.Telemetry.Spans {
+		top.spans = telemetry.NewSpanRecorder(machine.CPUs() + cfg.NICs)
+		cpu.armSpans(top.spans)
+	}
+	if cfg.Telemetry.enabled() {
+		machine.SetTelemetry(top.col, cpu.stampNowOn)
+	}
+
 	// One sender machine + link per NIC; per-queue interrupts go through
 	// the machine's NAPI poll lists to the owning CPU's scheduler slot.
 	machine.WireInterrupts(cpu.kick)
@@ -644,6 +715,10 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		link.CorruptOneIn = cfg.CorruptOneIn
 		link.ReorderOneIn = cfg.Reorder.OneIn
 		link.ReorderDistance = cfg.Reorder.Distance
+		if top.spans != nil {
+			link.spanLane = top.spans.Lane(machine.CPUs() + i)
+			link.spanTrack = linkTrackName(i)
+		}
 		if par != nil {
 			par.attachLink(i, link)
 		} else {
@@ -657,27 +732,36 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		machine.Netstack().ConfigureTimeWait(cfg.MaxTimeWaitBuckets, cfg.TimeWaitEvictOldest)
 	}
 
-	// Connections, round-robin across NICs (the many-flow workload
-	// generator owns addressing, skewed rates and churn).
-	gen := newFlowGen(top, cfg)
-	top.gen = gen
-	for c := 0; c < cfg.Connections; c++ {
-		if err := gen.openFlow(); err != nil {
+	// Connections, round-robin across NICs. RPC runs replace the bulk
+	// streams with the request/response incast driver; otherwise the
+	// many-flow workload generator owns addressing, skewed rates and churn.
+	if cfg.RPC.Enabled {
+		rpc, err := newRPCDriver(top, cfg)
+		if err != nil {
 			return nil, err
 		}
-	}
-	gen.applySkew()
-	if cfg.RegisteredFlows > cfg.Connections {
-		if err := gen.seedIdleFlows(cfg.RegisteredFlows - cfg.Connections); err != nil {
-			return nil, err
+		top.rpc = rpc
+	} else {
+		gen := newFlowGen(top, cfg)
+		top.gen = gen
+		for c := 0; c < cfg.Connections; c++ {
+			if err := gen.openFlow(); err != nil {
+				return nil, err
+			}
+		}
+		gen.applySkew()
+		if cfg.RegisteredFlows > cfg.Connections {
+			if err := gen.seedIdleFlows(cfg.RegisteredFlows - cfg.Connections); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if cfg.ChurnIntervalNs > 0 || cfg.RestartStorm.AtNs > 0 {
 		top.teardown = newTeardownTracker(top)
-		top.teardown.onReap = gen.recycle
+		top.teardown.onReap = top.gen.recycle
 	}
 	if cfg.ChurnIntervalNs > 0 {
-		top.churn = newChurner(top, gen, top.teardown, cfg.ChurnIntervalNs)
+		top.churn = newChurner(top, top.gen, top.teardown, cfg.ChurnIntervalNs)
 		s.After(cfg.ChurnIntervalNs, top.churn.tick)
 	}
 	if cfg.RestartStorm.AtNs > 0 {
@@ -844,6 +928,11 @@ type simCPU struct {
 	roundBase  uint64 // meter total at round start
 	inRound    bool   // per-lane round marker (parallel scheduler)
 	roundFn    func() // pre-bound round closure (no per-kick allocation)
+
+	// Span telemetry (nil/"" when off): every non-empty softirq round is
+	// recorded as an activity interval on the CPU's trace track.
+	spanLane  *telemetry.SpanLane
+	spanTrack string
 }
 
 func newCPUSet(s *Sim, m Machine) *cpuSet {
@@ -916,7 +1005,11 @@ func (cs *cpuSet) round(c *simCPU) {
 		used := meter.Total() - c.roundBase
 		c.busyCycles += used
 		busyNs := uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
-		c.busyUntil = cs.lanes[c.id].Now() + busyNs
+		start := cs.lanes[c.id].Now()
+		c.busyUntil = start + busyNs
+		if used > 0 && c.spanLane != nil {
+			c.spanLane.Record(c.spanTrack, "round", start, busyNs)
+		}
 		if more {
 			cs.kick(c.id)
 		}
@@ -930,7 +1023,11 @@ func (cs *cpuSet) round(c *simCPU) {
 	used := meter.Total() - c.roundBase
 	c.busyCycles += used
 	busyNs := uint64(float64(used) / cs.m.ParamsRef().ClockHz * 1e9)
-	c.busyUntil = cs.sim.Now() + busyNs
+	start := cs.sim.Now()
+	c.busyUntil = start + busyNs
+	if used > 0 && c.spanLane != nil {
+		c.spanLane.Record(c.spanTrack, "round", start, busyNs)
+	}
 
 	if more {
 		cs.kick(c.id)

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"repro/internal/telemetry"
+)
+
+// This file wires internal/telemetry into the stream experiment: the
+// observation-only latency collector, the span recorder behind the
+// Chrome-trace exporter, and the stamp clock that timestamps stage
+// boundaries.
+//
+// The invariant all of it preserves: telemetry reads the clock, it never
+// schedules. Stage stamps are unconditional value writes on frames and
+// SKBs; recorders are per-lane shards merged deterministically; nothing
+// here charges a cycle or inserts an event, so a run with telemetry on is
+// bit-identical — same schedule, same charged cycles, same StreamResult
+// counters — to the same run with it off.
+
+// TelemetryConfig selects a stream run's observation outputs.
+type TelemetryConfig struct {
+	// Latency enables per-message latency histograms: every data-carrying
+	// host packet records its stage residencies (wire, ring, softirq,
+	// stack, socket) and end-to-end latency into StreamResult.Latency.
+	Latency bool
+	// Spans enables the activity-interval recorder: per-CPU softirq
+	// rounds and per-link wire occupancy, in simulated time, delivered to
+	// SpanSink at the end of the run (canonically ordered — identical
+	// serial and parallel).
+	Spans bool
+	// SpanSink receives the drained spans when Spans is set (nil: spans
+	// are recorded and dropped).
+	SpanSink func([]telemetry.Span)
+}
+
+// enabled reports whether any telemetry output is requested.
+func (t TelemetryConfig) enabled() bool { return t.Latency || t.Spans }
+
+// RPCConfig configures the request/response incast workload: the receiver
+// machine (the system under test) issues synchronized request bursts to
+// many senders — one connection per sender, fan-in = Connections — and
+// each sender answers with a MessageBytes response. All responses of a
+// burst converge on the receiver at once (the incast pattern), and the
+// next burst fires only when every response has been fully read, so the
+// per-message RTT distribution directly exposes receive-path latency
+// under fan-in pressure.
+type RPCConfig struct {
+	// Enabled switches the stream run from bulk streaming to the RPC
+	// incast workload (implies TelemetryConfig.Latency).
+	Enabled bool
+	// RequestBytes is the request size the receiver sends (0 = 64).
+	RequestBytes int
+	// MessageBytes is the response size each sender returns (0 = 1448).
+	MessageBytes int
+	// PollNs is the burst-completion poll period (0 = 50 µs). The poll
+	// only gates when the *next* burst fires; per-message RTTs are
+	// measured from the burst instant and are unaffected by it.
+	PollNs uint64
+}
+
+// stampNowOn is the telemetry stamp clock for CPU cpu: the instant the
+// executing softirq round's work has reached — the round's start time
+// plus the CPU time it has charged so far. Serially, rounds execute one
+// at a time, so the global clock plus the shared meter's in-round charge
+// is exactly that instant; under the parallel scheduler the CPU's own
+// lane clock and meter shard measure the same two quantities, so stamps
+// are bit-identical between the two schedules. Outside any round (global
+// events: bursts, timer sweeps) it is plain virtual time.
+func (cs *cpuSet) stampNowOn(cpu int) uint64 {
+	if cs.lanes != nil && cpu >= 0 && cpu < len(cs.lanes) {
+		return cs.lanes[cpu].Now() + cs.inRoundLatencyOn(cpu)
+	}
+	return cs.sim.Now() + cs.inRoundLatencyNs()
+}
+
+// armSpans points every CPU at its span shard so round() can record
+// activity intervals (nil-safe: unarmed CPUs record nothing).
+func (cs *cpuSet) armSpans(rec *telemetry.SpanRecorder) {
+	for i, c := range cs.cpus {
+		c.spanLane = rec.Lane(i)
+		c.spanTrack = cpuTrackName(i)
+	}
+}
+
+// cpuTrackName returns the trace track of softirq CPU i ("cpu0", ...).
+func cpuTrackName(i int) string {
+	return "cpu" + itoa(i)
+}
+
+// linkTrackName returns the trace track of link i's wire ("eth0.wire").
+func linkTrackName(i int) string {
+	return "eth" + itoa(i) + ".wire"
+}
+
+// itoa is strconv.Itoa for small non-negative ints without the import.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

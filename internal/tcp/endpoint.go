@@ -27,6 +27,7 @@ import (
 	"repro/internal/ipv4"
 	"repro/internal/packet"
 	"repro/internal/tcpwire"
+	"repro/internal/telemetry"
 )
 
 // Clock supplies virtual time in nanoseconds.
@@ -202,6 +203,15 @@ type Endpoint struct {
 	// simulation it models the scheduler's placement of the app thread.
 	appCPU int
 
+	// latRec/latClock, when wired (SetLatencyRecorder), record each
+	// data-carrying host packet's stage stamps at app-delivery time into
+	// the owning lane's telemetry shard. latClock is the stamp clock of
+	// the softirq CPU that owns this flow — deliberately separate from
+	// e.clock, whose value feeds TCP timestamps and timers and must not
+	// change when telemetry is enabled.
+	latRec   *telemetry.StageSet
+	latClock Clock
+
 	stats Stats
 }
 
@@ -285,6 +295,17 @@ func (e *Endpoint) SetAppCPU(cpu int) { e.appCPU = cpu }
 // AppCPU returns the application's CPU (-1 = unpinned).
 func (e *Endpoint) AppCPU() int { return e.appCPU }
 
+// SetLatencyRecorder wires per-packet stage-latency recording: every
+// data-carrying host packet delivered to this endpoint records its stamp
+// chain (wire → ring → softirq → aggregation → stack → socket read) into
+// rec, reading the app-read boundary from clock. Recording is observation
+// only — it charges no cycles and schedules nothing — and rec is a
+// per-lane shard, so concurrent CPU lanes never share one.
+func (e *Endpoint) SetLatencyRecorder(rec *telemetry.StageSet, clock Clock) {
+	e.latRec = rec
+	e.latClock = clock
+}
+
 // tsNow returns the TCP timestamp clock value: milliseconds of virtual
 // time, the 1000 Hz granularity of the paper's §3.6 argument.
 func (e *Endpoint) tsNow() uint32 { return uint32(e.clock() / 1_000_000) }
@@ -335,6 +356,11 @@ func (e *Endpoint) Input(seg Segment) {
 	total := seg.TotalPayloadLen()
 	if total > 0 {
 		e.receiveData(&seg)
+		if e.latRec != nil && seg.SKB != nil {
+			skb := seg.SKB
+			e.latRec.RecordStamps(skb.SentNs, skb.ArriveNs, skb.DequeueNs,
+				skb.AggCloseNs, skb.StackInNs, e.latClock())
+		}
 	}
 
 	if hdr.Flags&tcpwire.FlagFIN != 0 {

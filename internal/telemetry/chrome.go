@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome Trace Event Format's JSON array
+// flavor (loadable in chrome://tracing and Perfetto). Complete events
+// (ph "X") carry microsecond ts/dur; metadata events (ph "M") name the
+// per-track threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports a canonically ordered span stream (Drain's
+// output) as Chrome trace JSON: one pid, one tid per track (in first-
+// appearance order), a thread_name metadata record per track, and one
+// complete ("X") event per span with ts/dur in microseconds.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	tids := make(map[string]int)
+	var tracks []string
+	for _, s := range spans {
+		if _, ok := tids[s.Track]; !ok {
+			tids[s.Track] = len(tracks)
+			tracks = append(tracks, s.Track)
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans)+len(tracks))
+	for _, t := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tids[t],
+			Args: map[string]any{"name": t},
+		})
+	}
+	for _, s := range spans {
+		dur := float64(s.DurNs) / 1000.0
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts: float64(s.StartNs) / 1000.0, Dur: &dur,
+			Pid: 0, Tid: tids[s.Track],
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace JSON
+// array with at least one complete event and, per tid, monotonically
+// non-decreasing start times (the ordering Drain guarantees). It returns
+// the number of complete events.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, fmt.Errorf("telemetry: trace is not a JSON event array: %w", err)
+	}
+	lastTs := make(map[int]float64)
+	complete := 0
+	for i, e := range events {
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+			complete++
+			if e.Dur == nil || *e.Dur < 0 {
+				return 0, fmt.Errorf("telemetry: event %d: complete event without non-negative dur", i)
+			}
+			if last, ok := lastTs[e.Tid]; ok && e.Ts < last {
+				return 0, fmt.Errorf("telemetry: event %d: ts %.3f regresses below %.3f on tid %d",
+					i, e.Ts, last, e.Tid)
+			}
+			lastTs[e.Tid] = e.Ts
+		default:
+			return 0, fmt.Errorf("telemetry: event %d: unexpected phase %q", i, e.Ph)
+		}
+	}
+	if complete == 0 {
+		return 0, fmt.Errorf("telemetry: trace has no complete events")
+	}
+	// Deterministic tid ordering sanity: tids must be 0..n-1.
+	tids := make([]int, 0, len(lastTs))
+	for t := range lastTs {
+		tids = append(tids, t)
+	}
+	sort.Ints(tids)
+	for i, t := range tids {
+		if t != i {
+			return 0, fmt.Errorf("telemetry: non-contiguous tid %d (want %d)", t, i)
+		}
+	}
+	return complete, nil
+}

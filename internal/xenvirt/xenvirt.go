@@ -78,6 +78,7 @@ import (
 	"repro/internal/softirq"
 	"repro/internal/tcp"
 	"repro/internal/tcpwire"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the receive-path configuration.
@@ -196,6 +197,12 @@ type Machine struct {
 	// chanRules are netback's per-flow aRFS overrides, mirroring the NIC
 	// rule table but resolving to a channel instead of a queue.
 	chanRules map[nic.FlowTuple]int
+
+	// Telemetry wiring (nil when off): the latency collector guest
+	// endpoints record into, and the per-CPU stamp clock behind every
+	// stage stamp.
+	telCol     *telemetry.Collector
+	stampClock func(cpu int) uint64
 }
 
 // New assembles a Xen machine.
@@ -348,6 +355,32 @@ func (m *Machine) WireInterrupts(kick func(cpu int)) {
 
 // NICs returns the physical NICs (wire side).
 func (m *Machine) NICs() []*nic.NIC { return m.nics }
+
+// SetTelemetry wires the stage-stamp clocks and latency collector (see
+// sim.Machine). The dom0 drivers stamp softirq dequeue with their queue's
+// clock, the dom0 aggregation engines stamp aggregate close, and the
+// guest stack stamps stack entry; the grant copy carries the stamps
+// across the domain boundary. Guest endpoints registered after this call
+// record into col (when non-nil). Observation only: nothing here charges
+// a cycle or schedules an event.
+func (m *Machine) SetTelemetry(col *telemetry.Collector, stampClock func(cpu int) uint64) {
+	m.telCol = col
+	m.stampClock = stampClock
+	if stampClock == nil {
+		return
+	}
+	for ni := range m.drvs {
+		for q := range m.drvs[ni] {
+			qq := q
+			m.drvs[ni][q].StampClock = func() uint64 { return stampClock(qq) }
+		}
+	}
+	for q, rp := range m.rps {
+		qq := q
+		rp.Engine().Clock = func() uint64 { return stampClock(qq) }
+	}
+	m.GuestStack.StampClock = stampClock
+}
 
 // Stats returns machine counters.
 func (m *Machine) Stats() Stats { return m.stats }
@@ -643,6 +676,9 @@ func (m *Machine) grantCopy(skb *buf.SKB) *buf.SKB {
 	g.RSSHash = skb.RSSHash
 	g.Aggregated = skb.Aggregated
 	g.FirstAck = skb.FirstAck
+	// Stage stamps cross the domain boundary with the data.
+	g.SentNs, g.ArriveNs, g.DequeueNs, g.AggCloseNs =
+		skb.SentNs, skb.ArriveNs, skb.DequeueNs, skb.AggCloseNs
 	for i := range skb.Frags {
 		f := skb.Frags[i]
 		data := make([]byte, len(f.Data))
@@ -722,6 +758,13 @@ func (m *Machine) ParamsRef() *cost.Params { return &m.Params }
 func (m *Machine) RegisterEndpoint(ep *tcp.Endpoint, remoteIP, localIP [4]byte, remotePort, localPort uint16) error {
 	if err := m.GuestStack.Register(ep, remoteIP, localIP, remotePort, localPort); err != nil {
 		return err
+	}
+	if m.telCol != nil {
+		// The flow's packets all reach the guest on the vCPU its channel
+		// map names, so its latency samples land in that lane's shard.
+		owner := m.chanMap.Queue(rss.HashTCP4(remoteIP, localIP, remotePort, localPort))
+		sc := m.stampClock
+		ep.SetLatencyRecorder(m.telCol.Lane(owner), func() uint64 { return sc(owner) })
 	}
 	m.eps = append(m.eps, ep)
 	return nil

@@ -81,6 +81,13 @@ func parDetShapes() map[string]StreamConfig {
 	xen.Connections = 16
 	shapes["xen/fallback-2q"] = xen
 
+	rpc := DefaultStreamConfig(SystemNativeSMP, OptFull)
+	rpc.NICs = 2
+	rpc.Queues = 2
+	rpc.Connections = 16
+	rpc.RPC = RPCConfig{Enabled: true}
+	shapes["rpc/incast-2q"] = rpc
+
 	return shapes
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/netstack"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Systems under test (paper §5).
@@ -122,6 +123,26 @@ type (
 	// TIME_WAIT entries and the demux structure, with the run's peak
 	// (StreamResult.Mem).
 	MemStats = netstack.MemStats
+	// TelemetryConfig selects a stream run's observation outputs — latency
+	// histograms and activity spans (StreamConfig.Telemetry). Observation
+	// cost is zero by construction: telemetry reads the clock, it never
+	// schedules, so enabling it changes no other result field.
+	TelemetryConfig = sim.TelemetryConfig
+	// RPCConfig configures the request/response incast workload
+	// (StreamConfig.RPC): synchronized request bursts to Connections
+	// senders, per-message RTT histograms in StreamResult.Latency.
+	RPCConfig = sim.RPCConfig
+	// LatencyReport is a run's per-message latency telemetry: end-to-end,
+	// RTT and per-stage residency summaries (StreamResult.Latency).
+	LatencyReport = telemetry.LatencyReport
+	// LatencySummary summarizes one latency histogram (count, mean,
+	// p50/p99/p999, max — simulated nanoseconds).
+	LatencySummary = telemetry.Summary
+	// StageSummary is one receive-path stage's residency summary.
+	StageSummary = telemetry.StageSummary
+	// Span is one recorded activity interval (track, name, start,
+	// duration) of the trace exporter.
+	Span = telemetry.Span
 )
 
 // Flow-table shard layouts (StreamConfig.FlowLayout).
