@@ -395,6 +395,35 @@ func BenchmarkReorder_WindowSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkLoss_Sweep is the loss degradation study in miniature: the
+// paravirtual five-link stream under 1% uniform loss with Reno-only and
+// SACK-based recovery. The headline metrics are the throughput each
+// recovery style sustains and the fast-retransmit/RTO mix behind it.
+func BenchmarkLoss_Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sack := range []bool{false, true} {
+			cfg := DefaultStreamConfig(SystemXen, OptFull)
+			cfg.Loss = LossConfig{OneIn: 100}
+			cfg.SACK = sack
+			cfg.Telemetry.Latency = true
+			res := benchStream(b, cfg)
+			name := "reno"
+			if sack {
+				name = "sack"
+			}
+			b.ReportMetric(res.ThroughputMbps, "Mbps_"+name)
+			b.ReportMetric(float64(res.Loss.FastRetransmits), "fastrtx_"+name)
+			b.ReportMetric(float64(res.Loss.RTOs), "rto_"+name)
+			if i == 0 {
+				fmt.Printf("1%% loss, %s: %.0f Mb/s, %d lost, %d fast rtx, %d RTOs, %d sack rtx, rec p99 %.0f µs\n",
+					name, res.ThroughputMbps, res.LostFrames, res.Loss.FastRetransmits,
+					res.Loss.RTOs, res.Loss.SACKRetransmits,
+					float64(res.Latency.Recovery.P99Ns)/1e3)
+			}
+		}
+	}
+}
+
 // BenchmarkTimeWait_RestartStorm measures the TIME_WAIT subsystem under
 // the restart-storm workload: half the flows torn down mid-measurement
 // and redialed on their own four-tuples (SYN-time reuse) against a

@@ -38,7 +38,13 @@ var (
 	reorderOneIn = flag.Int("reorder", 0,
 		"displace every Nth forward frame on each link (the reorder fault injector; 0 = off)")
 	reorderDist = flag.Int("reorder-distance", 1, "reorder displacement distance in frames (1 = adjacent swap)")
-	churnEvery  = flag.Duration("churn", 0,
+	lossOneIn   = flag.Int("loss", 0,
+		"drop every Nth forward frame on each link, uniformly at random (the loss fault injector; 0 = off); prints the loss-recovery breakdown")
+	burstLoss = flag.Float64("burst-loss", 0,
+		"Gilbert-Elliott burst loss: stationary loss rate in [0,1) (0 = off; mutually exclusive with -loss)")
+	burstLen   = flag.Float64("burst-len", 0, "mean burst length in frames for -burst-loss (0 = default)")
+	sack       = flag.Bool("sack", false, "negotiate SACK on every connection (scoreboard recovery at the senders)")
+	churnEvery = flag.Duration("churn", 0,
 		"tear down and replace the oldest flow at this interval (0 = no churn); teardowns linger in TIME_WAIT")
 	stormSize = flag.Int("storm", 0,
 		"fire a restart storm one quarter into the measured interval against this many seeded TIME_WAIT entries (0 = no storm; enables tw_reuse)")
@@ -80,6 +86,13 @@ func main() {
 	cfg.DurationNs = uint64(duration.Nanoseconds())
 	cfg.ReorderWindow = *window
 	cfg.Reorder = repro.ReorderConfig{OneIn: *reorderOneIn, Distance: *reorderDist}
+	lossy := *lossOneIn > 0 || *burstLoss > 0
+	if lossy {
+		cfg.Loss = repro.LossConfig{OneIn: *lossOneIn, BurstRate: *burstLoss, BurstLen: *burstLen}
+		// The recovery-latency histogram rides on the telemetry collector.
+		cfg.Telemetry.Latency = true
+	}
+	cfg.SACK = *sack
 	cfg.ChurnIntervalNs = uint64(churnEvery.Nanoseconds())
 	cfg.RegisteredFlows = *registered
 	cfg.FlowLayout, err = repro.ParseFlowLayout(*layout)
@@ -130,6 +143,30 @@ func main() {
 		fmt.Println()
 		printLatency(res)
 	}
+	if lossy || *sack {
+		fmt.Println()
+		printLoss(res)
+	}
+}
+
+// printLoss renders the loss-recovery breakdown: what the injector
+// dropped, how the senders recovered (fast retransmit vs RTO vs SACK
+// hole fills vs limited transmit), and how long each loss episode took
+// from first retransmission to cumulative-ACK catch-up.
+func printLoss(res repro.StreamResult) {
+	l := res.Loss
+	fmt.Printf("loss: %d frames dropped on the wire\n", res.LostFrames)
+	fmt.Printf("recovery: %d fast retransmits, %d RTOs, %d SACK retransmits, %d limited transmits\n",
+		l.FastRetransmits, l.RTOs, l.SACKRetransmits, l.LimitedTransmits)
+	fmt.Printf("sack: %d blocks received by senders\n", l.SACKBlocksIn)
+	r := res.Latency.Recovery
+	if r.Count == 0 {
+		fmt.Println("recovery latency: no completed episodes in the measured interval")
+		return
+	}
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	fmt.Printf("recovery latency (%d episodes, µs): mean %.1f, p50 %.1f, p99 %.1f, max %.1f\n",
+		r.Count, us(r.MeanNs), us(r.P50Ns), us(r.P99Ns), us(r.MaxNs))
 }
 
 // printLatency renders the per-stage residency breakdown: where a

@@ -21,9 +21,13 @@ type TCPSpec struct {
 	Window           uint16
 	HasTS            bool
 	TSVal, TSEcr     uint32
-	Payload          []byte
-	IPID             uint16
-	TTL              uint8
+	// SACKBlocks emits a SACK option after the timestamp (RFC 2018
+	// NOP,NOP,TS + NOP,NOP,SACK layout); at most tcpwire.MaxSACKBlocks
+	// blocks fit beside a timestamp. Ignored when RawTCPOptions is set.
+	SACKBlocks []tcpwire.SACKBlock
+	Payload    []byte
+	IPID       uint16
+	TTL        uint8
 
 	// Fault/feature injection for tests and rule coverage:
 
@@ -43,6 +47,9 @@ type TCPSpec struct {
 
 // Build serializes the frame described by s.
 func Build(s TCPSpec) ([]byte, error) {
+	if s.RawTCPOptions == nil && len(s.SACKBlocks) > 0 {
+		s.RawTCPOptions = tcpwire.BuildOptions(s.HasTS, s.TSVal, s.TSEcr, s.SACKBlocks)
+	}
 	th := tcpwire.Header{
 		SrcPort: s.SrcPort,
 		DstPort: s.DstPort,

@@ -40,6 +40,25 @@ type Link struct {
 	// the sender's fast-retransmit machinery.
 	CorruptOneIn int
 
+	// LossOneIn, when positive, drops each forward frame with
+	// probability 1/N — the uniform arm of the loss injector. The
+	// decision is a seeded hash of the per-link loss counter, so it is
+	// identical in serial and parallel scheduling (the counter advances
+	// in the link lane's deterministic delivery order) and independent
+	// of everything else in the run.
+	LossOneIn int
+	// BurstLossRate, when positive, switches the injector to the
+	// two-state Gilbert-Elliott burst model with this target loss
+	// fraction: drops arrive in runs of mean length BurstLossLen
+	// instead of uniformly. Mutually exclusive with LossOneIn.
+	BurstLossRate float64
+	// BurstLossLen is the Gilbert-Elliott mean burst length in frames
+	// (0 = DefaultBurstLossLen).
+	BurstLossLen float64
+	// LossSeed seeds the injector's PRNG (links get distinct seeds so
+	// parallel wires don't drop in lockstep).
+	LossSeed uint64
+
 	// ReorderOneIn, when positive, displaces every Nth forward frame by
 	// ReorderDistance positions: the frame is withheld at the receiver
 	// edge until that many later frames have been delivered, then
@@ -83,6 +102,11 @@ type Link struct {
 	displacedSent uint64
 	displaceLeft  int
 
+	// Loss-injector state: frames considered and the Gilbert-Elliott
+	// channel state (true = bad/bursting).
+	lossCount int
+	lossBad   bool
+
 	// spanLane/spanTrack, when wired (buildStream, tracing enabled),
 	// record one wire-occupancy span per forward frame. Recording reads
 	// the clock only; it never schedules (telemetry invariant).
@@ -100,7 +124,14 @@ type LinkStats struct {
 	Corrupted       uint64
 	// Reordered counts frames the reorder injector displaced.
 	Reordered uint64
+	// Lost counts forward frames the loss injector dropped.
+	Lost uint64
 }
+
+// DefaultBurstLossLen is the Gilbert-Elliott mean burst length used when
+// BurstLossLen is unset: drops cluster in runs of ~4 frames, the regime
+// where cumulative-ACK recovery degrades fastest.
+const DefaultBurstLossLen = 4.0
 
 // DefaultLinkDelayNs is the one-way delay used by the experiments. It is
 // calibrated so that the netperf-style request/response benchmark lands
@@ -196,16 +227,82 @@ func (l *Link) transmitNext() {
 	corrupt := l.CorruptOneIn > 0 && l.fwdCount%l.CorruptOneIn == 0
 	l.sim.After(wire+l.DelayNs, func() {
 		l.inFlight--
-		if corrupt && len(frame) > 70 {
-			frame[len(frame)-1] ^= 0x01
-			l.stats.Corrupted++
+		if l.dropLost() {
+			// The frame vanishes at the delivery point: wire timing and
+			// backpressure already happened, exactly like corruption.
+			// The idle check below (and the one in transmitNext) is the
+			// wire-idle release discipline — when a drop leaves nothing
+			// in flight and the sender window-limited, the displaced
+			// frame is released and the coalesced interrupt flushed, so
+			// a dropped frame can never strand the ACK clock.
+			l.stats.Lost++
+		} else {
+			if corrupt && len(frame) > 70 {
+				frame[len(frame)-1] ^= 0x01
+				l.stats.Corrupted++
+			}
+			l.deliverForward(frame, sentNs)
 		}
-		l.deliverForward(frame, sentNs)
 		if l.inFlight == 0 && !l.busy {
 			l.releaseDisplaced()
 			l.dst.FlushInterrupt()
 		}
 	})
+}
+
+// lossEnabled reports whether either loss arm is configured.
+func (l *Link) lossEnabled() bool { return l.LossOneIn > 0 || l.BurstLossRate > 0 }
+
+// dropLost decides the fate of one delivered forward frame. Both arms
+// draw from splitmix64 over (LossSeed, lossCount): the decision depends
+// only on the frame's position in this link's delivery order, which the
+// parallel scheduler reproduces bit-exactly.
+func (l *Link) dropLost() bool {
+	if !l.lossEnabled() {
+		return false
+	}
+	l.lossCount++
+	r := splitmix64(l.LossSeed ^ (uint64(l.lossCount) * 0x9e3779b97f4a7c15))
+	if l.LossOneIn > 0 {
+		return r%uint64(l.LossOneIn) == 0
+	}
+	// Gilbert-Elliott: transition first, then drop while in the bad
+	// state. Mean bad sojourn = 1/q frames = the burst length; the
+	// good→bad rate p is solved from the stationary loss fraction
+	// f = p/(p+q).
+	f := l.BurstLossRate
+	if f >= 1 {
+		return true
+	}
+	blen := l.BurstLossLen
+	if blen < 1 {
+		blen = DefaultBurstLossLen
+	}
+	q := 1 / blen
+	p := q * f / (1 - f)
+	u := float64(r>>11) / (1 << 53)
+	if l.lossBad {
+		if u < q {
+			l.lossBad = false
+		}
+	} else {
+		if u < p {
+			l.lossBad = true
+		}
+	}
+	return l.lossBad
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality stateless mix
+// from counter to uniform 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // deliverForward hands a frame to the receiver NIC, applying the reorder

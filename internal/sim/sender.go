@@ -10,6 +10,7 @@ import (
 	"repro/internal/ipv4"
 	"repro/internal/packet"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 )
 
 // SenderMachine is one client machine of the testbed: it owns the sender
@@ -28,6 +29,20 @@ type SenderMachine struct {
 
 	// MaxPayload caps data segments below the MSS (0 = full MSS).
 	MaxPayload int
+
+	// ConfigConn, when set, adjusts each new connection's endpoint config
+	// before the endpoint is created (SACK, timestamp, window knobs).
+	ConfigConn func(*tcp.Config)
+
+	// NextISS, when nonzero, overrides the next connection's initial send
+	// sequence number and is consumed by that connection: the restart
+	// storm's timestamps-off reuse path picks an ISN beyond the old
+	// incarnation's RCV.NXT so the RFC 6191 sequence arm admits it.
+	NextISS uint32
+
+	// RecoveryRec, when set, records each connection's loss-episode
+	// durations into the given telemetry shard.
+	RecoveryRec *telemetry.StageSet
 
 	conns   []*senderConn
 	byPort  map[uint16]*senderConn
@@ -132,10 +147,18 @@ func (m *SenderMachine) addConn(localIP, remoteIP ipv4.Addr, localPort, remotePo
 	cfg.LocalIP, cfg.RemoteIP = localIP, remoteIP
 	cfg.LocalPort, cfg.RemotePort = localPort, remotePort
 	cfg.Source = PatternPayload
+	if m.NextISS != 0 {
+		cfg.ISS = m.NextISS
+		m.NextISS = 0
+	}
+	if m.ConfigConn != nil {
+		m.ConfigConn(&cfg)
+	}
 	ep, err := tcp.New(cfg, &m.meter, &m.params, m.alloc, m.sim.Clock())
 	if err != nil {
 		return nil, err
 	}
+	ep.SetRecoveryRecorder(m.RecoveryRec)
 	ep.OnRetransmit = func(f []byte) {
 		m.pending = append(m.pending, f)
 		m.kick()

@@ -135,6 +135,20 @@ type StreamConfig struct {
 	// Reorder configures the deterministic reorder fault injector on
 	// every link (zero value: no reordering).
 	Reorder ReorderConfig
+	// Loss configures the deterministic link-level loss injector (zero
+	// value: lossless links — bit-identical to every prior pipeline).
+	Loss LossConfig
+	// SACK enables selective acknowledgments (RFC 2018) on every
+	// connection: receiver block generation from the OOO queue, sender
+	// scoreboard recovery (selective retransmission, limited transmit,
+	// pipe accounting). Off, wire format and recovery behaviour are
+	// bit-identical to the seed.
+	SACK bool
+	// NoTimestamps disables the TCP timestamp option on every connection.
+	// Segments are then not aggregatable (§3.1), and TIME_WAIT reuse must
+	// take the RFC 6191 sequence-number arm (ISN beyond the old
+	// incarnation's RCV.NXT) instead of the timestamp arm.
+	NoTimestamps bool
 	// TimeWaitReuse enables SYN-time port reuse against lingering
 	// TIME_WAIT entries (Linux tcp_tw_reuse, RFC 6191 admissibility):
 	// a reconnect colliding with a lingering four-tuple may recycle the
@@ -221,6 +235,29 @@ type ReorderConfig struct {
 	// adjacent swap; k > 1 delays the frame past k successors).
 	Distance int
 }
+
+// LossConfig tunes the link-level loss fault injector: deterministic
+// frame drops standing in for congestion or a noisy path. Exactly one
+// model may be active — OneIn (uniform) or BurstRate (Gilbert-Elliott).
+// Drop decisions are a pure function of the per-link frame counter and
+// seed, so a given config drops the very same frames on every run and
+// under either scheduler.
+type LossConfig struct {
+	// OneIn drops forward frames at a uniform rate of 1 in OneIn
+	// (0 = off).
+	OneIn int
+	// BurstRate is the Gilbert-Elliott stationary loss fraction in
+	// (0, 1) (0 = off); BurstLen is the mean bad-state burst length in
+	// frames (0 = the link's DefaultBurstLossLen).
+	BurstRate float64
+	BurstLen  float64
+	// Seed perturbs the drop sequence; link i draws from Seed+i, so
+	// multi-link runs do not drop in lockstep.
+	Seed uint64
+}
+
+// active reports whether any loss model is configured.
+func (c LossConfig) active() bool { return c.OneIn > 0 || c.BurstRate > 0 }
 
 // SteerConfig are the dynamic-steering knobs of a stream run.
 type SteerConfig struct {
@@ -330,6 +367,12 @@ type StreamResult struct {
 	// ReorderedFrames counts frames the links' reorder injector
 	// displaced over the whole run (warm-up included).
 	ReorderedFrames uint64
+	// LostFrames counts frames the links' loss injector dropped over the
+	// whole run (warm-up included).
+	LostFrames uint64
+	// Loss sums the sender endpoints' loss-recovery counters over the
+	// measured interval (all zero on clean lossless runs).
+	Loss LossReport
 	// HostPackets is the number of host packets (post-aggregation demux
 	// lookups) of the measured interval.
 	HostPackets uint64
@@ -355,6 +398,52 @@ type StreamResult struct {
 	// RPCRounds counts completed request bursts of the measured interval
 	// (RPC workload only).
 	RPCRounds uint64
+}
+
+// LossReport sums the sender endpoints' loss-recovery activity over the
+// measured interval. With latency telemetry on, Latency.Recovery carries
+// the full per-episode duration distribution; RecoveryNsSum here is its
+// total and works without telemetry.
+type LossReport struct {
+	FastRetransmits  uint64 `json:"fast_retransmits"`
+	RTOs             uint64 `json:"rtos"`
+	SACKRetransmits  uint64 `json:"sack_retransmits"`
+	LimitedTransmits uint64 `json:"limited_transmits"`
+	SACKBlocksIn     uint64 `json:"sack_blocks_in"`
+	RecoveryEvents   uint64 `json:"recovery_events"`
+	RecoveryNsSum    uint64 `json:"recovery_ns_sum"`
+}
+
+// sub returns the counter-wise difference a−b (interval delta).
+func (a LossReport) sub(b LossReport) LossReport {
+	return LossReport{
+		FastRetransmits:  a.FastRetransmits - b.FastRetransmits,
+		RTOs:             a.RTOs - b.RTOs,
+		SACKRetransmits:  a.SACKRetransmits - b.SACKRetransmits,
+		LimitedTransmits: a.LimitedTransmits - b.LimitedTransmits,
+		SACKBlocksIn:     a.SACKBlocksIn - b.SACKBlocksIn,
+		RecoveryEvents:   a.RecoveryEvents - b.RecoveryEvents,
+		RecoveryNsSum:    a.RecoveryNsSum - b.RecoveryNsSum,
+	}
+}
+
+// senderLossStats sums loss-recovery counters over every sender
+// endpoint in deterministic (machine, connection) order.
+func senderLossStats(senders []*SenderMachine) LossReport {
+	var r LossReport
+	for _, m := range senders {
+		for _, c := range m.conns {
+			s := c.ep.Stats()
+			r.FastRetransmits += s.FastRetransmits
+			r.RTOs += s.RTOs
+			r.SACKRetransmits += s.SACKRetransmits
+			r.LimitedTransmits += s.LimitedTransmits
+			r.SACKBlocksIn += s.SACKBlocksIn
+			r.RecoveryEvents += s.RecoveryEvents
+			r.RecoveryNsSum += s.RecoveryNsSum
+		}
+	}
+	return r
 }
 
 // SteerReport summarizes a run's dynamic-steering activity.
@@ -496,6 +585,7 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	startBusy := top.cpu.perCPUBusy()
 	startOOO := oooSegs(top.machine)
 	startDemux := top.machine.FlowTable().DemuxCycles()
+	startLoss := senderLossStats(top.senders)
 
 	top.runUntil(cfg.WarmupNs + cfg.DurationNs)
 
@@ -567,7 +657,9 @@ func RunStream(cfg StreamConfig) (StreamResult, error) {
 	}
 	for _, l := range top.links {
 		res.ReorderedFrames += l.Stats().Reordered
+		res.LostFrames += l.Stats().Lost
 	}
+	res.Loss = senderLossStats(top.senders).sub(startLoss)
 	if top.col != nil {
 		res.Latency = top.col.Report()
 	}
@@ -627,6 +719,13 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	}
 	if cfg.Reorder.OneIn < 0 || cfg.Reorder.Distance < 0 {
 		return nil, fmt.Errorf("sim: negative reorder-injector config %+v", cfg.Reorder)
+	}
+	if cfg.Loss.OneIn < 0 || cfg.Loss.BurstRate < 0 || cfg.Loss.BurstRate >= 1 ||
+		cfg.Loss.BurstLen < 0 {
+		return nil, fmt.Errorf("sim: invalid loss-injector config %+v", cfg.Loss)
+	}
+	if cfg.Loss.OneIn > 0 && cfg.Loss.BurstRate > 0 {
+		return nil, fmt.Errorf("sim: loss models are mutually exclusive (OneIn and BurstRate both set)")
 	}
 	if st := cfg.RestartStorm; st.Fraction < 0 || st.Fraction > 1 || st.PrefillTimeWait < 0 {
 		return nil, fmt.Errorf("sim: invalid restart-storm config %+v", st)
@@ -691,7 +790,11 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 	// nothing, so a run with telemetry on stays bit-identical to the same
 	// run with it off.
 	if cfg.Telemetry.Latency {
-		top.col = telemetry.NewCollector(machine.CPUs())
+		// One lane per softirq CPU, plus one per link for the sender
+		// machines' recovery-latency shards: under the parallel scheduler
+		// each sender runs on its link's lane, so it must own a shard no
+		// receive CPU writes.
+		top.col = telemetry.NewCollector(machine.CPUs() + cfg.NICs)
 	}
 	if cfg.Telemetry.Spans {
 		top.spans = telemetry.NewSpanRecorder(machine.CPUs() + cfg.NICs)
@@ -711,10 +814,28 @@ func buildStream(cfg *StreamConfig) (*streamTopology, error) {
 		}
 		sender := NewSender(ls, cfg.SenderQuantum)
 		sender.MaxPayload = cfg.MessageSize
+		if cfg.SACK || cfg.NoTimestamps {
+			sack, noTS := cfg.SACK, cfg.NoTimestamps
+			sender.ConfigConn = func(c *tcp.Config) {
+				c.SACK = sack
+				if noTS {
+					c.UseTimestamps = false
+				}
+			}
+		}
+		if top.col != nil {
+			sender.RecoveryRec = top.col.Lane(machine.CPUs() + i)
+		}
 		link := NewLink(ls, sender, machine.NICs()[i])
 		link.CorruptOneIn = cfg.CorruptOneIn
 		link.ReorderOneIn = cfg.Reorder.OneIn
 		link.ReorderDistance = cfg.Reorder.Distance
+		if cfg.Loss.active() {
+			link.LossOneIn = cfg.Loss.OneIn
+			link.BurstLossRate = cfg.Loss.BurstRate
+			link.BurstLossLen = cfg.Loss.BurstLen
+			link.LossSeed = cfg.Loss.Seed + uint64(i)
+		}
 		if top.spans != nil {
 			link.spanLane = top.spans.Lane(machine.CPUs() + i)
 			link.spanTrack = linkTrackName(i)

@@ -55,6 +55,12 @@ type flowGen struct {
 	// including churn replacements and storm reconnects (property tests
 	// attach their verification sinks here, before any byte flows).
 	onOpen func(*tcp.Endpoint)
+
+	// nextISN, when nonzero, seeds the next open's initial sequence
+	// number on both sides and is consumed by that open: the restart
+	// storm's timestamps-off reuse path must dial with the very ISN the
+	// admissibility check was granted on.
+	nextISN uint32
 }
 
 // Churn replacement flows draw ports from a range disjoint from the
@@ -152,6 +158,11 @@ func (g *flowGen) open(n int, sPort, rPort uint16) error {
 	senderIP := ipv4.Addr{10, 0, byte(n), 1}
 	rcvIP := ipv4.Addr{10, 0, byte(n), 2}
 
+	isn := g.nextISN
+	g.nextISN = 0
+	if isn != 0 {
+		top.senders[n].NextISS = isn
+	}
 	if _, err := top.senders[n].AddStreamConn(senderIP, rcvIP, sPort, rPort); err != nil {
 		return err
 	}
@@ -160,6 +171,13 @@ func (g *flowGen) open(n int, sPort, rPort uint16) error {
 	rcfg.LocalIP, rcfg.RemoteIP = rcvIP, senderIP
 	rcfg.LocalPort, rcfg.RemotePort = rPort, sPort
 	rcfg.AckOffload = cfg.Opt == OptFull
+	rcfg.SACK = cfg.SACK
+	if cfg.NoTimestamps {
+		rcfg.UseTimestamps = false
+	}
+	if isn != 0 {
+		rcfg.IRS = isn
+	}
 	ep, err := tcp.New(rcfg, top.machine.MeterRef(), top.machine.ParamsRef(),
 		top.machine.AllocRef(), top.sim.Clock())
 	if err != nil {

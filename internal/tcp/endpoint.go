@@ -69,11 +69,30 @@ type Config struct {
 	ISS, IRS uint32
 	// InitialCwnd is the initial congestion window in segments.
 	InitialCwnd int
-	// RTONs is the (fixed) retransmission timeout.
+	// RTONs, when nonzero, pins the retransmission timeout (the fixed
+	// 200 ms of the original model — the override golden and unit tests
+	// use for exact timer control). When zero the endpoint runs the
+	// Jacobson/Karn estimator (RFC 6298): srtt/rttvar from RTT samples
+	// of never-retransmitted segments, exponential backoff on repeated
+	// RTOs, and the MinRTONs floor.
 	RTONs uint64
+	// SACK enables selective acknowledgments (RFC 2018): the receive
+	// side generates up to three blocks from the out-of-order queue,
+	// the send side keeps a scoreboard over the retransmission list
+	// (selective retransmission, limited transmit, pipe accounting).
+	SACK bool
 	// Source generates payload bytes for transmission.
 	Source DataSource
 }
+
+// MinRTONs is the adaptive estimator's timeout floor (Linux's 200 ms) —
+// also the effective timeout whenever the measured RTT is far below it,
+// which keeps the estimator bit-identical to the historical fixed default
+// on every clean-link golden.
+const MinRTONs = 200_000_000
+
+// MaxRTONs caps the exponentially backed-off timeout.
+const MaxRTONs = 120_000_000_000
 
 // DefaultConfig returns a config with Linux-2.6.16-like defaults for the
 // given four-tuple.
@@ -88,7 +107,9 @@ func DefaultConfig() Config {
 		ISS:             1,
 		IRS:             1,
 		InitialCwnd:     10,
-		RTONs:           200_000_000, // 200 ms
+		// RTONs zero: the adaptive Jacobson/Karn estimator with the
+		// MinRTONs (200 ms) floor — numerically identical to the old
+		// fixed 200 ms default at simulated sub-millisecond RTTs.
 	}
 }
 
@@ -113,6 +134,14 @@ type Stats struct {
 	DelAckTimerFires uint64
 	FinsOut          uint64 // FIN transmissions (including retransmits)
 	FinsIn           uint64 // FIN-flagged segments processed
+
+	// SACK / loss-recovery counters (zero unless Config.SACK or loss).
+	SACKBlocksOut    uint64 // SACK blocks emitted on outgoing ACKs
+	SACKBlocksIn     uint64 // SACK blocks processed from peer ACKs
+	SACKRetransmits  uint64 // scoreboard hole retransmissions
+	LimitedTransmits uint64 // RFC 3042 probe segments on 1st/2nd dup ACK
+	RecoveryEvents   uint64 // loss episodes entered (fast rtx or RTO)
+	RecoveryNsSum    uint64 // summed episode durations, virtual ns
 }
 
 type oooSegment struct {
@@ -135,7 +164,11 @@ func (e *Endpoint) Rebind(m *cycles.Meter, alloc *buf.Allocator, clock Clock) {
 type sentSegment struct {
 	seq    uint32
 	length int
-	fin    bool // the segment carries FIN (consumes one sequence number)
+	fin    bool   // the segment carries FIN (consumes one sequence number)
+	sentAt uint64 // first-transmit time (RTT sampling; Karn-invalid once rexmit)
+	lastTx uint64 // most recent transmit time (scoreboard re-retransmit pacing)
+	rexmit bool   // retransmitted at least once (excluded from RTT samples)
+	sacked bool   // covered by a peer SACK block (scoreboard state)
 }
 
 // seqLen returns the sequence-number space the segment occupies: its
@@ -179,6 +212,10 @@ type Endpoint struct {
 	finSeen     bool
 	rcvMSSEst   int // estimate of the peer's effective send MSS
 	lastRunLen  int // previous sub-estimate run length (shrink detector)
+	// sackBlocks is the receive-side SACK block list in RFC 2018 order
+	// (most recently changed first), maintained from the OOO queue and
+	// pruned as rcvNxt advances.
+	sackBlocks []tcpwire.SACKBlock
 
 	// Send state.
 	sndUna, sndNxt uint32
@@ -191,6 +228,18 @@ type Endpoint struct {
 	rtoDeadline    uint64
 	appLimited     uint64 // bytes the app wants to send; ^uint64(0) = unlimited
 	ipID           uint16
+	sackedBytes    int // sequence space of sacked rtx entries (pipe accounting)
+
+	// Adaptive RTO state (RTONs == 0): RFC 6298 smoothed estimator.
+	srttNs, rttvarNs uint64
+	rtoBackoff       uint // Karn exponential backoff exponent
+
+	// Loss-episode state: recStart is the virtual time of the episode's
+	// first retransmission (0 = no episode open), recEnd the sequence
+	// whose cumulative coverage ends it.
+	recStart uint64
+	recEnd   uint32
+	recRec   *telemetry.StageSet // recovery-latency shard (may be nil)
 
 	// Teardown state (FIN handshake, churn workloads).
 	closeReq bool   // application requested close (AppClose)
@@ -333,6 +382,11 @@ func (e *Endpoint) Input(seg Segment) {
 		acks = []uint32{hdr.Ack}
 	}
 	if hdr.Flags&tcpwire.FlagACK != 0 {
+		// Scoreboard first (RFC 6675): the dup-ACK handling below sees
+		// the blocks this very ACK carried.
+		if e.cfg.SACK && len(hdr.SACKBlocks) > 0 {
+			e.applySACK(hdr.SACKBlocks)
+		}
 		for _, a := range acks {
 			e.processAck(a)
 		}
@@ -532,10 +586,12 @@ func (e *Endpoint) flushAcks() {
 	}
 }
 
-// buildAck constructs a pure-ACK frame SKB.
+// buildAck constructs a pure-ACK frame SKB. With SACK enabled and
+// out-of-order data queued, the ACK carries up to tcpwire.MaxSACKBlocks
+// blocks in RFC 2018 order.
 func (e *Endpoint) buildAck(ackNum uint32) *buf.SKB {
 	e.ipID++
-	frame := packet.MustBuild(packet.TCPSpec{
+	spec := packet.TCPSpec{
 		SrcMAC: e.cfg.LocalMAC, DstMAC: e.cfg.RemoteMAC,
 		SrcIP: e.cfg.LocalIP, DstIP: e.cfg.RemoteIP,
 		SrcPort: e.cfg.LocalPort, DstPort: e.cfg.RemotePort,
@@ -544,10 +600,72 @@ func (e *Endpoint) buildAck(ackNum uint32) *buf.SKB {
 		Window: e.advertisedWindow(),
 		HasTS:  e.cfg.UseTimestamps, TSVal: e.tsNow(), TSEcr: e.tsRecent,
 		IPID: e.ipID,
-	})
+	}
+	if e.cfg.SACK && len(e.sackBlocks) > 0 {
+		e.pruneSACK()
+		if n := minInt(len(e.sackBlocks), tcpwire.MaxSACKBlocks); n > 0 {
+			spec.SACKBlocks = e.sackBlocks[:n]
+			e.stats.SACKBlocksOut += uint64(n)
+		}
+	}
+	frame := packet.MustBuild(spec)
 	skb := e.alloc.NewAck(frame, ether.HeaderLen)
 	return skb
 }
+
+// noteSACK merges the newly queued out-of-order range [start, end) into
+// the SACK block list: overlapping or adjacent blocks coalesce and the
+// result moves to the front (RFC 2018 most-recent-first ordering). The
+// list is bounded — blocks beyond the advertisable set plus one spare
+// are dropped from the tail.
+func (e *Endpoint) noteSACK(start, end uint32) {
+	if !e.cfg.SACK {
+		return
+	}
+	nb := tcpwire.SACKBlock{Start: start, End: end}
+	keep := e.sackBlocks[:0]
+	for _, b := range e.sackBlocks {
+		if seqLEQ(b.Start, nb.End) && seqLEQ(nb.Start, b.End) {
+			// Overlapping or touching: absorb into the new block.
+			if seqLT(b.Start, nb.Start) {
+				nb.Start = b.Start
+			}
+			if seqGT(b.End, nb.End) {
+				nb.End = b.End
+			}
+			continue
+		}
+		keep = append(keep, b)
+	}
+	e.sackBlocks = append(keep, tcpwire.SACKBlock{}) // grow by one
+	copy(e.sackBlocks[1:], e.sackBlocks[:len(e.sackBlocks)-1])
+	e.sackBlocks[0] = nb
+	if len(e.sackBlocks) > tcpwire.MaxSACKBlocks+1 {
+		e.sackBlocks = e.sackBlocks[:tcpwire.MaxSACKBlocks+1]
+	}
+}
+
+// pruneSACK drops blocks the advancing cumulative ACK has covered.
+func (e *Endpoint) pruneSACK() {
+	keep := e.sackBlocks[:0]
+	for _, b := range e.sackBlocks {
+		if seqLEQ(b.End, e.rcvNxt) {
+			continue
+		}
+		if seqLT(b.Start, e.rcvNxt) {
+			b.Start = e.rcvNxt
+		}
+		keep = append(keep, b)
+	}
+	e.sackBlocks = keep
+}
+
+// SetRecoveryRecorder wires sender-side loss-recovery latency recording:
+// each completed loss episode (first retransmission → cumulative ACK
+// covering everything outstanding at entry) records its duration into
+// rec. Observation only — episode tracking itself always runs (it feeds
+// Stats.RecoveryNsSum), so enabling the recorder changes no other state.
+func (e *Endpoint) SetRecoveryRecorder(rec *telemetry.StageSet) { e.recRec = rec }
 
 // advertisedWindow returns the scaled window field value.
 func (e *Endpoint) advertisedWindow() uint16 {
@@ -565,7 +683,8 @@ func (e *Endpoint) output(skb *buf.SKB) {
 	e.Output(skb)
 }
 
-// queueOOO inserts payload runs into the out-of-order queue.
+// queueOOO inserts payload runs into the out-of-order queue, recording
+// each range in the SACK block list.
 func (e *Endpoint) queueOOO(seq uint32, runs [][]byte) {
 	s := seq
 	for _, run := range runs {
@@ -574,6 +693,7 @@ func (e *Endpoint) queueOOO(seq uint32, runs [][]byte) {
 		}
 		cp := append([]byte(nil), run...)
 		e.insertOOO(oooSegment{seq: s, data: cp})
+		e.noteSACK(s, s+uint32(len(run)))
 		s += uint32(len(run))
 	}
 }

@@ -97,7 +97,7 @@ func TestFinRetransmitOnRTO(t *testing.T) {
 		t.Fatal("no FIN")
 	}
 	env.ep.Input(ackSeg(501)) // data acked; FIN ack lost
-	env.now += env.ep.cfg.RTONs + 1
+	env.now += env.ep.RTO() + 1
 	env.ep.OnTimeout(env.now)
 	if len(retx) != 1 {
 		t.Fatalf("RTO retransmitted %d frames, want 1 (the FIN)", len(retx))

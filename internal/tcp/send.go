@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"fmt"
+
 	"repro/internal/ether"
 	"repro/internal/packet"
 	"repro/internal/tcpwire"
@@ -56,8 +58,11 @@ func (e *Endpoint) processAck(ackNum uint32) {
 		return
 	case seqGT(ackNum, e.sndUna):
 		newly := ackNum - e.sndUna
+		e.sampleRTT(ackNum)
 		e.sndUna = ackNum
+		e.rtoBackoff = 0 // Karn: new data acked resets the backoff
 		e.popRtx(ackNum)
+		e.closeLossEpisode(ackNum)
 		if e.finSent && !e.finAcked && seqGEQ(ackNum, e.finSeq+1) {
 			e.finAcked = true
 		}
@@ -93,6 +98,11 @@ func (e *Endpoint) processAck(ackNum uint32) {
 		e.dupAcks++
 		if e.inFastRec {
 			e.cwnd += e.cfg.MSS // inflate
+			if e.cfg.SACK {
+				// Scoreboard-driven hole fill: each dup ACK in recovery
+				// may selectively retransmit one further lost segment.
+				e.retransmitNextHole()
+			}
 			return
 		}
 		if e.dupAcks == 3 {
@@ -102,9 +112,160 @@ func (e *Endpoint) processAck(ackNum uint32) {
 			e.cwnd = e.ssthresh + 3*e.cfg.MSS
 			e.inFastRec = true
 			e.recover = e.sndNxt
+			e.enterLossEpisode(e.recover)
 			e.retransmitOne()
 			e.armRTO()
 		}
+	}
+}
+
+// sampleRTT feeds the RFC 6298 estimator from the newest segment the
+// cumulative ACK fully covers, skipping anything ever retransmitted
+// (Karn's algorithm: a retransmitted segment's ACK is ambiguous). Only
+// runs under the adaptive default; a fixed RTONs override disables it.
+func (e *Endpoint) sampleRTT(ackNum uint32) {
+	if e.cfg.RTONs != 0 {
+		return
+	}
+	var sentAt uint64
+	for i := range e.rtx {
+		s := &e.rtx[i]
+		if seqGT(s.seq+s.seqLen(), ackNum) {
+			break
+		}
+		if !s.rexmit && s.sentAt != 0 {
+			sentAt = s.sentAt
+		}
+	}
+	if sentAt == 0 {
+		return
+	}
+	r := e.clock() - sentAt
+	if r == 0 {
+		r = 1
+	}
+	if e.srttNs == 0 {
+		e.srttNs = r
+		e.rttvarNs = r / 2
+		return
+	}
+	d := e.srttNs - r
+	if r > e.srttNs {
+		d = r - e.srttNs
+	}
+	e.rttvarNs = (3*e.rttvarNs + d) / 4
+	e.srttNs = (7*e.srttNs + r) / 8
+}
+
+// rtoNs returns the current retransmission timeout: the fixed override
+// when configured, otherwise the RFC 6298 estimate floored at MinRTONs
+// and shifted by the Karn backoff.
+func (e *Endpoint) rtoNs() uint64 {
+	if e.cfg.RTONs != 0 {
+		return e.cfg.RTONs
+	}
+	rto := uint64(MinRTONs)
+	if e.srttNs != 0 {
+		if est := e.srttNs + 4*e.rttvarNs; est > rto {
+			rto = est
+		}
+	}
+	rto <<= e.rtoBackoff
+	if rto > MaxRTONs {
+		rto = MaxRTONs
+	}
+	return rto
+}
+
+// RTO returns the timeout the next armRTO would use (tests, tools).
+func (e *Endpoint) RTO() uint64 { return e.rtoNs() }
+
+// SRTT returns the smoothed RTT estimate in ns (0 = no sample yet).
+func (e *Endpoint) SRTT() uint64 { return e.srttNs }
+
+// enterLossEpisode opens (or extends) the recovery-latency episode: the
+// clock starts at the first retransmission and the episode ends when the
+// cumulative ACK covers target.
+func (e *Endpoint) enterLossEpisode(target uint32) {
+	if e.recStart != 0 {
+		if seqGT(target, e.recEnd) {
+			e.recEnd = target
+		}
+		return
+	}
+	e.recStart = e.clock()
+	e.recEnd = target
+	e.stats.RecoveryEvents++
+}
+
+// closeLossEpisode ends the open episode once ackNum covers its target,
+// accumulating the duration and recording it into the telemetry shard.
+func (e *Endpoint) closeLossEpisode(ackNum uint32) {
+	if e.recStart == 0 || !seqGEQ(ackNum, e.recEnd) {
+		return
+	}
+	d := e.clock() - e.recStart
+	e.recStart = 0
+	e.stats.RecoveryNsSum += d
+	if e.recRec != nil {
+		e.recRec.RecordRecovery(d)
+	}
+}
+
+// applySACK marks rtx entries fully covered by the ACK's SACK blocks
+// (the scoreboard of RFC 2018/6675). sackedBytes tracks the covered
+// sequence space for pipe accounting.
+func (e *Endpoint) applySACK(blocks []tcpwire.SACKBlock) {
+	e.stats.SACKBlocksIn += uint64(len(blocks))
+	for i := range e.rtx {
+		s := &e.rtx[i]
+		if s.sacked {
+			continue
+		}
+		end := s.seq + s.seqLen()
+		for _, b := range blocks {
+			if seqGEQ(s.seq, b.Start) && seqLEQ(end, b.End) {
+				s.sacked = true
+				e.sackedBytes += int(s.seqLen())
+				break
+			}
+		}
+	}
+}
+
+// retransmitNextHole selectively retransmits the earliest hole the
+// scoreboard proves lost: an unsacked entry with sacked data above it
+// (the IsLost test of RFC 6675, simplified). An already-retransmitted
+// hole becomes eligible again once a full smoothed-RTT window has passed
+// since its last transmission — the retransmission itself was then lost
+// too, and with the timeout floored at 200 ms waiting for the RTO would
+// stall the connection for hundreds of round trips.
+func (e *Endpoint) retransmitNextHole() {
+	var hi uint32
+	has := false
+	for i := range e.rtx {
+		if e.rtx[i].sacked {
+			hi = e.rtx[i].seq + e.rtx[i].seqLen()
+			has = true
+		}
+	}
+	if !has {
+		return
+	}
+	for i := range e.rtx {
+		s := &e.rtx[i]
+		if s.sacked {
+			continue
+		}
+		if seqGEQ(s.seq, hi) {
+			return // above the highest sacked byte: not provably lost
+		}
+		if s.rexmit && (e.srttNs == 0 || e.clock()-s.lastTx <= e.srttNs+4*e.rttvarNs) {
+			continue // retransmission still plausibly in flight
+		}
+		e.stats.SACKRetransmits++
+		e.resendSegment(s)
+		return
 	}
 }
 
@@ -112,10 +273,20 @@ func (e *Endpoint) processAck(ackNum uint32) {
 func (e *Endpoint) flightSize() int { return int(e.sndNxt - e.sndUna) }
 
 // SendWindowAvail returns how many payload bytes the window currently
-// permits sending.
+// permits sending. With SACK the flight is the RFC 6675 pipe (sacked
+// bytes have left the network), and the first two dup ACKs admit one
+// extra segment each (limited transmit, RFC 3042); both terms are zero
+// with SACK off, keeping the historical arithmetic bit-identical.
 func (e *Endpoint) SendWindowAvail() int {
 	wnd := minInt(e.cwnd, e.sndWnd)
-	avail := wnd - e.flightSize()
+	flight := e.flightSize()
+	if e.cfg.SACK {
+		flight -= e.sackedBytes
+		if !e.inFastRec && e.dupAcks > 0 && e.dupAcks < 3 {
+			wnd += e.dupAcks * e.cfg.MSS
+		}
+	}
+	avail := wnd - flight
 	if avail < 0 {
 		return 0
 	}
@@ -169,7 +340,11 @@ func (e *Endpoint) NextDataFrame(maxPayload int) []byte {
 		Payload: payload,
 	})
 
-	e.rtx = append(e.rtx, sentSegment{seq: e.sndNxt, length: size})
+	if e.cfg.SACK && !e.inFastRec && e.dupAcks > 0 && e.dupAcks < 3 {
+		e.stats.LimitedTransmits++
+	}
+	now := e.clock()
+	e.rtx = append(e.rtx, sentSegment{seq: e.sndNxt, length: size, sentAt: now, lastTx: now})
 	e.sndNxt += uint32(size)
 	e.stats.SegsOut++
 	e.stats.BytesOut += uint64(size)
@@ -195,7 +370,8 @@ func (e *Endpoint) buildFinFrame() []byte {
 		HasTS:  e.cfg.UseTimestamps, TSVal: e.tsNow(), TSEcr: e.tsRecent,
 		IPID: e.ipID,
 	})
-	e.rtx = append(e.rtx, sentSegment{seq: e.sndNxt, fin: true})
+	now := e.clock()
+	e.rtx = append(e.rtx, sentSegment{seq: e.sndNxt, fin: true, sentAt: now, lastTx: now})
 	e.finSeq = e.sndNxt
 	e.finSent = true
 	e.sndNxt++
@@ -222,24 +398,42 @@ func (e *Endpoint) SendDataSKB(maxPayload int) bool {
 }
 
 // popRtx discards retransmit entries fully covered by ackNum (payload
-// bytes plus the FIN's sequence number).
+// bytes plus the FIN's sequence number), releasing their scoreboard
+// bytes.
 func (e *Endpoint) popRtx(ackNum uint32) {
 	i := 0
 	for ; i < len(e.rtx); i++ {
 		if seqGT(e.rtx[i].seq+e.rtx[i].seqLen(), ackNum) {
 			break
 		}
+		if e.rtx[i].sacked {
+			e.sackedBytes -= int(e.rtx[i].seqLen())
+		}
 	}
 	e.rtx = e.rtx[i:]
 }
 
 // retransmitOne rebuilds and resends the earliest unacknowledged segment
-// (a data segment from the application source, or our FIN).
+// (a data segment from the application source, or our FIN). With SACK,
+// sacked entries are skipped: the earliest hole is what's lost.
 func (e *Endpoint) retransmitOne() {
-	if len(e.rtx) == 0 {
+	idx := 0
+	if e.cfg.SACK {
+		for idx < len(e.rtx) && e.rtx[idx].sacked {
+			idx++
+		}
+	}
+	if idx >= len(e.rtx) {
 		return
 	}
-	s := e.rtx[0]
+	e.resendSegment(&e.rtx[idx])
+}
+
+// resendSegment rebuilds one rtx entry's frame and emits it, marking the
+// entry retransmitted (Karn: its future ACK is no longer an RTT sample).
+func (e *Endpoint) resendSegment(s *sentSegment) {
+	s.rexmit = true
+	s.lastTx = e.clock()
 	flags := tcpwire.FlagACK | tcpwire.FlagPSH
 	var payload []byte
 	if s.fin {
@@ -269,7 +463,10 @@ func (e *Endpoint) retransmitOne() {
 	}
 }
 
-// onRTO fires the retransmission timeout: classic Reno collapse.
+// onRTO fires the retransmission timeout: classic Reno collapse. The
+// scoreboard is cleared (RFC 2018's conservative post-RTO behaviour —
+// the receiver may have reneged) and, under the adaptive estimator, the
+// timeout backs off exponentially until new data is acked (Karn).
 func (e *Endpoint) onRTO() {
 	e.rtoDeadline = 0
 	if e.sndUna == e.sndNxt {
@@ -280,14 +477,51 @@ func (e *Endpoint) onRTO() {
 	e.cwnd = e.cfg.MSS
 	e.dupAcks = 0
 	e.inFastRec = false
+	if e.sackedBytes != 0 || e.cfg.SACK {
+		for i := range e.rtx {
+			e.rtx[i].sacked = false
+			e.rtx[i].rexmit = false
+		}
+		e.sackedBytes = 0
+	}
+	if e.cfg.RTONs == 0 && e.rtoBackoff < 12 {
+		e.rtoBackoff++
+	}
+	e.enterLossEpisode(e.sndNxt)
 	e.retransmitOne()
 	e.armRTO()
 }
 
 // armRTO (re)arms the retransmission timer.
 func (e *Endpoint) armRTO() {
-	if e.cfg.RTONs == 0 {
-		return
+	e.rtoDeadline = e.clock() + e.rtoNs()
+}
+
+// CheckAccounting verifies the send-side bookkeeping invariants the
+// property tests pin at checkpoints: the rtx list tiles [sndUna, sndNxt)
+// exactly, and sackedBytes equals the summed sequence space of sacked
+// entries. Returns a description of the first violation, or "".
+func (e *Endpoint) CheckAccounting() string {
+	expect := e.sndUna
+	sacked := 0
+	for i := range e.rtx {
+		s := &e.rtx[i]
+		if s.seq != expect {
+			return fmt.Sprintf("rtx[%d] starts at %d, want %d", i, s.seq, expect)
+		}
+		expect = s.seq + s.seqLen()
+		if s.sacked {
+			sacked += int(s.seqLen())
+		}
 	}
-	e.rtoDeadline = e.clock() + e.cfg.RTONs
+	if expect != e.sndNxt {
+		return fmt.Sprintf("rtx ends at %d, sndNxt %d", expect, e.sndNxt)
+	}
+	if sacked != e.sackedBytes {
+		return fmt.Sprintf("sackedBytes %d, scoreboard sum %d", e.sackedBytes, sacked)
+	}
+	if e.sackedBytes > e.flightSize() {
+		return fmt.Sprintf("sackedBytes %d exceeds flight %d", e.sackedBytes, e.flightSize())
+	}
+	return ""
 }

@@ -46,6 +46,16 @@ const (
 	OptTimestamps = 8
 )
 
+// SACKBlock is one selective-acknowledgment block (RFC 2018): the
+// receiver has queued [Start, End) beyond the cumulative ACK.
+type SACKBlock struct {
+	Start, End uint32
+}
+
+// MaxSACKBlocks is the block budget when the timestamp option shares the
+// options area: NOP,NOP,TS (12) + NOP,NOP,SACK(2+8·3) (28) = 40 bytes.
+const MaxSACKBlocks = 3
+
 // Header is a parsed TCP header.
 type Header struct {
 	SrcPort, DstPort uint16
@@ -60,6 +70,9 @@ type Header struct {
 	// HasTimestamp indicates a parsed timestamp option.
 	HasTimestamp bool
 	TSVal, TSEcr uint32
+	// SACKBlocks holds the parsed selective-acknowledgment blocks, most
+	// recently changed first (RFC 2018 ordering), nil when absent.
+	SACKBlocks []SACKBlock
 	// TimestampOnly indicates the options area contains exactly the
 	// NOP,NOP,Timestamp layout and nothing else.
 	TimestampOnly bool
@@ -124,12 +137,21 @@ func (h *Header) parseOptions() error {
 			if l < 2 || i+l > len(opts) {
 				return fmt.Errorf("tcpwire: bad option length %d at %d", l, i)
 			}
-			if opts[i] == OptTimestamps && l == TimestampOptLen {
+			switch {
+			case opts[i] == OptTimestamps && l == TimestampOptLen:
 				h.HasTimestamp = true
 				h.TSVal = binary.BigEndian.Uint32(opts[i+2 : i+6])
 				h.TSEcr = binary.BigEndian.Uint32(opts[i+6 : i+10])
 				sawTS = true
-			} else {
+			case opts[i] == OptSACK && l >= 2 && (l-2)%8 == 0:
+				for j := i + 2; j < i+l; j += 8 {
+					h.SACKBlocks = append(h.SACKBlocks, SACKBlock{
+						Start: binary.BigEndian.Uint32(opts[j : j+4]),
+						End:   binary.BigEndian.Uint32(opts[j+4 : j+8]),
+					})
+				}
+				other = true
+			default:
 				other = true
 			}
 			i += l
@@ -183,6 +205,45 @@ func (h *Header) Put(b []byte) error {
 		binary.BigEndian.PutUint32(b[28:32], h.TSEcr)
 	}
 	return nil
+}
+
+// BuildOptions serializes the canonical option layout an ACK carrying
+// timestamp and/or SACK blocks uses: NOP,NOP,TS then NOP,NOP,SACK. At most
+// MaxSACKBlocks blocks fit beside a timestamp (the 40-byte options area is
+// exactly full at three); excess blocks are dropped, never truncated
+// mid-block. Returns nil when neither option is requested.
+func BuildOptions(hasTS bool, tsVal, tsEcr uint32, blocks []SACKBlock) []byte {
+	max := MaxSACKBlocks
+	if !hasTS {
+		max = 4 // 40-byte area fits NOP,NOP,SACK(2+8·4)
+	}
+	if len(blocks) > max {
+		blocks = blocks[:max]
+	}
+	n := 0
+	if hasTS {
+		n += 2 + TimestampOptLen
+	}
+	if len(blocks) > 0 {
+		n += 2 + 2 + 8*len(blocks)
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, 0, n)
+	if hasTS {
+		b = append(b, OptNOP, OptNOP, OptTimestamps, TimestampOptLen)
+		b = binary.BigEndian.AppendUint32(b, tsVal)
+		b = binary.BigEndian.AppendUint32(b, tsEcr)
+	}
+	if len(blocks) > 0 {
+		b = append(b, OptNOP, OptNOP, OptSACK, byte(2+8*len(blocks)))
+		for _, blk := range blocks {
+			b = binary.BigEndian.AppendUint32(b, blk.Start)
+			b = binary.BigEndian.AppendUint32(b, blk.End)
+		}
+	}
+	return b
 }
 
 // SetChecksum computes and inserts the transport checksum for the serialized

@@ -52,9 +52,10 @@ func (s Stage) String() string {
 // round-trip histogram. Each shard is written only by its owning lane;
 // merging happens at report time.
 type StageSet struct {
-	stage [NumStages]Histogram
-	e2e   Histogram
-	rtt   Histogram
+	stage    [NumStages]Histogram
+	e2e      Histogram
+	rtt      Histogram
+	recovery Histogram
 }
 
 // RecordStamps records one delivered host packet's stage residencies and
@@ -87,6 +88,16 @@ func (s *StageSet) RecordRTT(ns uint64) {
 	s.rtt.Record(ns)
 }
 
+// RecordRecovery records one sender loss episode's duration: first
+// retransmission (fast retransmit or RTO) to the cumulative ACK that
+// covers every byte outstanding when the episode began.
+func (s *StageSet) RecordRecovery(ns uint64) {
+	if s == nil {
+		return
+	}
+	s.recovery.Record(ns)
+}
+
 // Reset clears the shard.
 func (s *StageSet) Reset() {
 	for i := range s.stage {
@@ -94,6 +105,7 @@ func (s *StageSet) Reset() {
 	}
 	s.e2e.Reset()
 	s.rtt.Reset()
+	s.recovery.Reset()
 }
 
 // Collector owns the per-lane recording shards of one machine. Lane i is
@@ -144,15 +156,16 @@ func (c *Collector) Reset() {
 // lane order; since histogram merging is commutative and each lane's
 // content is deterministic, the result is bit-identical serial vs
 // parallel.
-func (c *Collector) merged() (stage [NumStages]Histogram, e2e, rtt Histogram) {
+func (c *Collector) merged() (stage [NumStages]Histogram, e2e, rtt, recovery Histogram) {
 	for _, l := range c.lanes {
 		for i := range stage {
 			stage[i].Merge(&l.stage[i])
 		}
 		e2e.Merge(&l.e2e)
 		rtt.Merge(&l.rtt)
+		recovery.Merge(&l.recovery)
 	}
-	return stage, e2e, rtt
+	return stage, e2e, rtt, recovery
 }
 
 // StageSummary is one stage's digest in a LatencyReport.
@@ -174,6 +187,10 @@ type LatencyReport struct {
 	// RTT is the RPC request→response round trip per transaction
 	// (zero outside RPC workloads).
 	RTT Summary `json:"rtt"`
+	// Recovery is the sender loss-episode duration per recovery event —
+	// first retransmission to full cumulative coverage (zero on clean
+	// links).
+	Recovery Summary `json:"recovery"`
 	// Stages are the per-stage residency digests in taxonomy order.
 	Stages []StageSummary `json:"stages,omitempty"`
 }
@@ -183,12 +200,13 @@ func (c *Collector) Report() LatencyReport {
 	if c == nil {
 		return LatencyReport{}
 	}
-	stage, e2e, rtt := c.merged()
+	stage, e2e, rtt, recovery := c.merged()
 	r := LatencyReport{
-		Enabled: true,
-		E2E:     e2e.Summarize(),
-		RTT:     rtt.Summarize(),
-		Stages:  make([]StageSummary, NumStages),
+		Enabled:  true,
+		E2E:      e2e.Summarize(),
+		RTT:      rtt.Summarize(),
+		Recovery: recovery.Summarize(),
+		Stages:   make([]StageSummary, NumStages),
 	}
 	for i := range r.Stages {
 		r.Stages[i] = StageSummary{Stage: Stage(i).String(), Summary: stage[i].Summarize()}
@@ -199,18 +217,24 @@ func (c *Collector) Report() LatencyReport {
 // MergedE2E returns the shard-merged end-to-end histogram (tests and the
 // partition-identity cross-check).
 func (c *Collector) MergedE2E() Histogram {
-	_, e2e, _ := c.merged()
+	_, e2e, _, _ := c.merged()
 	return e2e
 }
 
 // MergedStage returns the shard-merged residency histogram of one stage.
 func (c *Collector) MergedStage(s Stage) Histogram {
-	stage, _, _ := c.merged()
+	stage, _, _, _ := c.merged()
 	return stage[s]
 }
 
 // MergedRTT returns the shard-merged RPC round-trip histogram.
 func (c *Collector) MergedRTT() Histogram {
-	_, _, rtt := c.merged()
+	_, _, rtt, _ := c.merged()
 	return rtt
+}
+
+// MergedRecovery returns the shard-merged loss-recovery histogram.
+func (c *Collector) MergedRecovery() Histogram {
+	_, _, _, recovery := c.merged()
+	return recovery
 }

@@ -76,6 +76,17 @@ func parDetShapes() map[string]StreamConfig {
 	corrupt.CorruptOneIn = 900
 	shapes["corrupt/retransmit"] = corrupt
 
+	loss := DefaultStreamConfig(SystemNativeUP, OptFull)
+	loss.Loss = LossConfig{OneIn: 400, Seed: 3}
+	loss.SACK = true
+	shapes["loss/uniform-sack"] = loss
+
+	burst := DefaultStreamConfig(SystemNativeSMP, OptFull)
+	burst.Queues = 2
+	burst.Connections = 8
+	burst.Loss = LossConfig{BurstRate: 0.01, BurstLen: 4}
+	shapes["loss/burst-reno"] = burst
+
 	xen := DefaultStreamConfig(SystemXen, OptFull)
 	xen.Queues = 2
 	xen.Connections = 16

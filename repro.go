@@ -96,6 +96,12 @@ type (
 	// ReorderConfig tunes the link-level reorder fault injector
 	// (adjacent swaps / k-distance displacement at a deterministic rate).
 	ReorderConfig = sim.ReorderConfig
+	// LossConfig tunes the link-level loss fault injector (uniform 1-in-N
+	// or Gilbert-Elliott bursts, deterministic per-link drop sequences).
+	LossConfig = sim.LossConfig
+	// LossReport sums the sender endpoints' loss-recovery activity over
+	// the measured interval (StreamResult.Loss).
+	LossReport = sim.LossReport
 	// AggStats is one aggregation engine's counter set: flush-reason
 	// taxonomy (Limit/Mismatch/Idle/Evict/Steer/WindowOverflow) and
 	// resequencing-window activity (Held/Stitched/WindowTimeout,
