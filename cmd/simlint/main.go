@@ -1,0 +1,227 @@
+// Command simlint runs the repository's domain-invariant analyzers —
+// nondeterminism, zeroperturbation, seededrand, chargedpath — across the
+// module and exits nonzero on any finding. It is the static half of the
+// invariants the golden/property tests enforce at runtime, and runs as a
+// required CI job.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -run nondeterminism,seededrand ./...
+//	go run ./cmd/simlint -json ./... > findings.json
+//
+// Only module-local patterns are supported: "./..." (everything, the
+// default) or "./dir/..." / "./dir" to narrow the sweep. The loader
+// typechecks the module offline (no module cache or network needed), so
+// simlint works in the same hermetic environments the simulator builds in.
+//
+// The suite is wired into CI as its own required step rather than through
+// `go vet -vettool`: a vettool must speak the x/tools unitchecker protocol,
+// which this repository's vendored-minimal framework deliberately omits
+// (see internal/analysis/framework). The multichecker form is equivalent
+// in effect — same analyzers, same failure semantics, one process instead
+// of one per package.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/chargedpath"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/zeroperturbation"
+)
+
+// suite is the full analyzer set, in report order.
+var suite = []*framework.Analyzer{
+	nondeterminism.Analyzer,
+	zeroperturbation.Analyzer,
+	seededrand.Analyzer,
+	chargedpath.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-json] [-run analyzers] [patterns]\n\nAnalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-18s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+
+	diags, fset, err := analyze(flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		writeJSON(os.Stdout, diags, fset)
+	} else {
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(run string) ([]*framework.Analyzer, error) {
+	if run == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*framework.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*framework.Analyzer
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, names())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func names() string {
+	var ns []string
+	for _, a := range suite {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// analyze loads the requested patterns and runs the analyzers over them.
+func analyze(patterns []string, analyzers []*framework.Analyzer) ([]framework.Diagnostic, *token.FileSet, error) {
+	root, err := findModuleRoot()
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &load.Loader{Root: root}
+	if err := l.Open(); err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := loadPatterns(l, root, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := framework.NewRunner().RunAll(analyzers, pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, l.Fset(), nil
+}
+
+// loadPatterns resolves module-local package patterns. With no patterns
+// (or "./...") the whole module loads; "./dir/..." and "./dir" narrow the
+// requested roots, though dependencies are always analyzed too so that
+// cross-package facts exist.
+func loadPatterns(l *load.Loader, root string, patterns []string) ([]*framework.Package, error) {
+	if len(patterns) == 0 {
+		return l.LoadAll()
+	}
+	var dirs []string
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "...":
+			return l.LoadAll()
+		case strings.HasSuffix(p, "/..."):
+			base := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(p, "/...")))
+			err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					name := d.Name()
+					if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+						return filepath.SkipDir
+					}
+					dirs = append(dirs, path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			dirs = append(dirs, filepath.Join(root, filepath.FromSlash(p)))
+		}
+	}
+	return l.LoadDirs(dirs)
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []framework.Diagnostic, fset *token.FileSet) {
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		findings = append(findings, finding{
+			Analyzer: d.Analyzer,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(findings)
+}

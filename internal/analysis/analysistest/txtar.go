@@ -1,0 +1,64 @@
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// A txtarFile is one file of a txtar archive.
+type txtarFile struct {
+	name string
+	data string
+}
+
+// parseTxtar implements the txtar format used by x/tools fixtures: an
+// optional comment, then a sequence of "-- name --" lines each followed by
+// the file's contents.
+func parseTxtar(data string) ([]txtarFile, error) {
+	var files []txtarFile
+	var cur *txtarFile
+	for _, line := range strings.SplitAfter(data, "\n") {
+		trimmed := strings.TrimSuffix(strings.TrimSuffix(line, "\n"), "\r")
+		if name, ok := txtarMarker(trimmed); ok {
+			files = append(files, txtarFile{name: name})
+			cur = &files[len(files)-1]
+			continue
+		}
+		if cur != nil {
+			cur.data += line
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("txtar: no file markers found")
+	}
+	return files, nil
+}
+
+// txtarMarker parses a "-- name --" line.
+func txtarMarker(line string) (string, bool) {
+	if !strings.HasPrefix(line, "-- ") || !strings.HasSuffix(line, " --") {
+		return "", false
+	}
+	name := strings.TrimSpace(line[3 : len(line)-3])
+	return name, name != ""
+}
+
+// extractTxtar writes the archive's files under dir.
+func extractTxtar(archive, dir string) error {
+	files, err := parseTxtar(archive)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		path := filepath.Join(dir, filepath.FromSlash(f.name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(f.data), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package astcheck holds the small AST/type resolution helpers the simlint
+// analyzers share: callee resolution, package classification of functions,
+// and declaration-scope tests.
+package astcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CalleeFunc resolves the function or method called by call, or nil when
+// the callee is dynamic (a function value, an interface method resolves to
+// its *types.Func too) or a builtin/conversion.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// FuncPkgPath returns the import path of the package declaring fn, or ""
+// for builtins.
+func FuncPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// IsBuiltin reports whether call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// RootIdent unwraps selector/index/star/paren chains to the base
+// identifier of an lvalue ("m.byPort[k]" → "m"), or nil when the base is
+// not an identifier (e.g. a call result).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredWithin reports whether the identifier's object is declared
+// inside the [pos, end] node span.
+func DeclaredWithin(info *types.Info, id *ast.Ident, pos, end token.Pos) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= pos && obj.Pos() <= end
+}
+
+// IsIntegerType reports whether t's underlying type is an integer.
+func IsIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// UsesObject reports whether the subtree rooted at n contains an
+// identifier resolving to obj.
+func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ExprObject resolves e (possibly parenthesized) to the object of its base
+// identifier when e is a plain identifier or a selector path of
+// identifiers ("tr.inTW" → field object of inTW). Returns nil otherwise.
+func ExprObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+// Package chargedpath implements the simlint analyzer for pricing
+// honesty: work done on the per-frame hot path against a priced structure
+// must be charged. The flow-table and TIME_WAIT subsystems were
+// hand-audited for this when they landed (every lookup, insert, reap and
+// growth-rehash charges through cycles/memmodel); this analyzer encodes
+// the audit so the next priced structure cannot silently skip it.
+//
+// Mechanics: every function in the deterministic set exports a fact
+// summarizing whether it charges (calls into internal/cycles or
+// internal/memmodel), whether it touches a priced structure (accesses a
+// field of a type named in simlintcfg.PricedTypes), and which functions it
+// statically calls. Packages are analyzed in dependency order, so when a
+// package declaring a hot-path root (simlintcfg.HotPathRoots) is reached,
+// the analyzer walks the static call graph downward from the root carrying
+// a charged-yet? flag. Reaching a function that touches a priced structure
+// with no charge at that function or anywhere above it on the path is a
+// violation: silently unpriced hot-path work.
+//
+// The walk is static: calls through interfaces and function values are
+// edges the graph cannot see, so coverage is honest-but-partial — exactly
+// like the hand audits it replaces, but repeatable. A charge anywhere on
+// one path covers the callee (the "same function or a caller" contract
+// from the pricing PRs).
+package chargedpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/astcheck"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/simlintcfg"
+)
+
+// Analyzer is the chargedpath analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "chargedpath",
+	Doc: "hot-path functions touching priced structures must charge cycles/memmodel in the function or a caller\n\n" +
+		"Walks the static call graph from the per-frame entry points (driver poll, softirq, demux, aggregate, endpoint).",
+	Run: run,
+}
+
+// funcInfo is the per-function fact shared across packages.
+type funcInfo struct {
+	Charges bool          // calls into a pricing package directly
+	Touches bool          // accesses a field of a priced type
+	Calls   []*types.Func // static callees, declaration order
+}
+
+// AFact marks funcInfo as a framework fact.
+func (*funcInfo) AFact() {}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if !simlintcfg.IsDeterministic(pass.ModulePath, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pricedFields := pricedFieldOwners(pass)
+
+	// Pass 1: summarize every function in this package.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			pass.ExportObjectFact(obj, summarize(pass, fd, pricedFields))
+		}
+	}
+
+	// Pass 2: walk from any hot-path roots this package declares.
+	for _, rootName := range simlintcfg.RootNames(pass.ModulePath, pass.Pkg.Path()) {
+		root := lookupRoot(pass.Pkg, rootName)
+		if root == nil {
+			pass.Reportf(pass.Files[0].Pos(),
+				"simlint config names hot-path root %s.%s but it does not exist; update simlintcfg.HotPathRoots [chargedpath]",
+				pass.Pkg.Name(), rootName)
+			continue
+		}
+		w := &walker{pass: pass, seen: make(map[walkState]bool), rootName: rootName}
+		w.walk(root, false)
+	}
+	return nil, nil
+}
+
+// pricedFieldOwners resolves this package's priced type names to their
+// *types.Named objects.
+func pricedFieldOwners(pass *framework.Pass) map[*types.TypeName]bool {
+	owners := make(map[*types.TypeName]bool)
+	for _, name := range simlintcfg.PricedTypeNames(pass.ModulePath, pass.Pkg.Path()) {
+		if tn, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName); ok {
+			owners[tn] = true
+		}
+	}
+	return owners
+}
+
+// summarize computes one function's fact.
+func summarize(pass *framework.Pass, fd *ast.FuncDecl, priced map[*types.TypeName]bool) *funcInfo {
+	info := pass.TypesInfo
+	fi := &funcInfo{}
+	seenCallee := make(map[*types.Func]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := astcheck.CalleeFunc(info, x)
+			if fn == nil {
+				return true
+			}
+			if simlintcfg.IsPricing(pass.ModulePath, astcheck.FuncPkgPath(fn)) {
+				fi.Charges = true
+				return true
+			}
+			if !seenCallee[fn] {
+				seenCallee[fn] = true
+				fi.Calls = append(fi.Calls, fn)
+			}
+		case *ast.SelectorExpr:
+			if fi.Touches {
+				return true
+			}
+			sel, ok := info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if owner := namedRecv(sel.Recv()); owner != nil && priced[owner.Obj()] {
+				fi.Touches = true
+			}
+		}
+		return true
+	})
+	// Methods on priced types touch their structure by definition even
+	// when every access goes through helpers.
+	if recv := receiverNamed(info, fd); recv != nil && priced[recv.Obj()] {
+		fi.Touches = true
+	}
+	return fi
+}
+
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	if tv, ok := info.Types[fd.Recv.List[0].Type]; ok {
+		return namedRecv(tv.Type)
+	}
+	return nil
+}
+
+// lookupRoot resolves "Func" or "Type.Method" in pkg's scope.
+func lookupRoot(pkg *types.Package, name string) *types.Func {
+	if typeName, method, ok := strings.Cut(name, "."); ok {
+		tn, okT := pkg.Scope().Lookup(typeName).(*types.TypeName)
+		if !okT {
+			return nil
+		}
+		named, okN := tn.Type().(*types.Named)
+		if !okN {
+			return nil
+		}
+		for m := range named.Methods() {
+			if m.Name() == method {
+				return m
+			}
+		}
+		return nil
+	}
+	fn, _ := pkg.Scope().Lookup(name).(*types.Func)
+	return fn
+}
+
+type walkState struct {
+	fn      *types.Func
+	charged bool
+}
+
+type walker struct {
+	pass     *framework.Pass
+	seen     map[walkState]bool
+	rootName string
+}
+
+// walk visits fn with the accumulated charged flag and recurses into its
+// static callees. Functions without facts (other modules, interfaces,
+// exempt packages) end the walk.
+func (w *walker) walk(fn *types.Func, charged bool) {
+	st := walkState{fn, charged}
+	if w.seen[st] {
+		return
+	}
+	w.seen[st] = true
+	var fi funcInfo
+	if !w.pass.ImportObjectFact(fn, &fi) {
+		return
+	}
+	if fi.Charges {
+		charged = true
+	}
+	if fi.Touches && !charged {
+		w.pass.Reportf(fn.Pos(),
+			"%s touches a priced structure on the hot path from %s without a cycles/memmodel charge in this function or any caller on the path: unpriced per-frame work [chargedpath]",
+			fn.Name(), w.rootName)
+		// Report once, then treat as charged so one missing charge does
+		// not cascade into every transitive callee.
+		charged = true
+	}
+	for _, callee := range fi.Calls {
+		w.walk(callee, charged)
+	}
+}

@@ -1,0 +1,12 @@
+package chargedpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chargedpath"
+)
+
+func TestChargedPath(t *testing.T) {
+	analysistest.Run(t, "testdata/chargedpath.txtar", chargedpath.Analyzer)
+}

@@ -1,0 +1,97 @@
+// Package framework is a minimal, dependency-free implementation of the
+// golang.org/x/tools/go/analysis API surface that simlint's analyzers are
+// written against: Analyzer, Pass, Diagnostic, and object facts.
+//
+// The build environment for this repository is hermetic — the module has no
+// external requirements and the toolchain image carries no module cache — so
+// the real x/tools packages cannot be fetched. Rather than give up static
+// enforcement of the simulator's invariants, this package vendors the small
+// subset of the API the suite needs, with the same field and method names.
+// If the module ever grows a vendored x/tools, each analyzer ports by
+// swapping this import for go/analysis; no analyzer logic changes.
+//
+// Deliberate deviations from x/tools, all driven by the offline loader in
+// internal/analysis/load:
+//
+//   - Facts are held in a Runner-owned store shared by every pass of one
+//     suite execution instead of being serialized between separate vet
+//     processes. Object identity works across packages because the loader
+//     typechecks the whole module under one token.FileSet and one package
+//     cache.
+//   - Requires/ResultOf dependency plumbing is omitted; the analyzers here
+//     are independent.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -run selection and
+	// annotation text. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics are delivered
+	// through pass.Report; the first return value is unused (kept for
+	// x/tools signature compatibility).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the typechecked syntax of one package
+// plus the reporting and fact channels.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ModulePath is the path of the module under analysis (from go.mod).
+	// Analyzers match package scopes against module-relative fragments,
+	// so fixtures under any fake module path exercise the same logic as
+	// the real tree.
+	ModulePath string
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+
+	runner *Runner
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Fact is analyzer-private information attached to a types.Object,
+// visible to later passes of the same analyzer in the same suite run.
+type Fact interface{ AFact() }
+
+// ExportObjectFact attaches fact to obj for later passes of this analyzer.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.runner.setFact(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies the fact previously exported for obj, if any,
+// into *fact's pointee and reports whether one existed. fact must be a
+// pointer of the same concrete type that was exported.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.runner.getFact(p.Analyzer, obj, fact)
+}
+
+// A Diagnostic is one finding, positioned in the loader's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the Runner
+}

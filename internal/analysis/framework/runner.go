@@ -1,0 +1,137 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Package is one typechecked unit handed to the Runner. The load package
+// produces these in dependency order, all sharing one FileSet and one
+// types.Package cache, which is what makes cross-package facts work.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	ModulePath string
+}
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+}
+
+// A Runner executes analyzers over packages and collects diagnostics. It
+// owns the fact store for one suite execution; run packages in dependency
+// order so facts exported by a dependency are visible when its importers
+// are analyzed.
+type Runner struct {
+	facts map[factKey]Fact
+}
+
+// NewRunner returns a Runner with an empty fact store.
+func NewRunner() *Runner {
+	return &Runner{facts: make(map[factKey]Fact)}
+}
+
+func (r *Runner) setFact(a *Analyzer, obj types.Object, fact Fact) {
+	r.facts[factKey{a, obj}] = fact
+}
+
+func (r *Runner) getFact(a *Analyzer, obj types.Object, dst Fact) bool {
+	fact, ok := r.facts[factKey{a, obj}]
+	if !ok {
+		return false
+	}
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(fact)
+	if dv.Kind() != reflect.Ptr || dv.Elem().Type() != sv.Elem().Type() {
+		panic(fmt.Sprintf("framework: fact type mismatch: have %T, want %T", fact, dst))
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// Run applies one analyzer to one package and returns its diagnostics,
+// each stamped with the analyzer name.
+func (r *Runner) Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		ModulePath: pkg.ModulePath,
+		runner:     r,
+	}
+	pass.Report = func(d Diagnostic) {
+		d.Analyzer = a.Name
+		diags = append(diags, d)
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+	}
+	return diags, nil
+}
+
+// RunAll applies every analyzer to every package (packages must already be
+// in dependency order) and returns all diagnostics sorted by position.
+func (r *Runner) RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			diags, err := r.Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+	}
+	SortDiagnostics(all, pkgs)
+	return all, nil
+}
+
+// SortDiagnostics orders diagnostics by file position, then analyzer name,
+// then message, using the FileSet shared by pkgs.
+func SortDiagnostics(diags []Diagnostic, pkgs []*Package) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+// Position resolves a diagnostic position against the given FileSet.
+func Position(fset *token.FileSet, pos token.Pos) token.Position {
+	return fset.Position(pos)
+}
+
+// File returns the *ast.File of pass.Files containing pos, or nil.
+func (p *Pass) File(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

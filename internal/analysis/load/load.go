@@ -1,0 +1,219 @@
+// Package load typechecks this module's packages without the go/packages
+// machinery, so the simlint suite runs in hermetic environments (no module
+// cache, no network, no GOPATH layout).
+//
+// The loader parses each package directory with go/parser, typechecks it
+// with go/types, and resolves imports two ways: paths inside the module map
+// to directories under the module root, everything else (the standard
+// library) goes through the compiler's source importer, which typechecks
+// GOROOT sources directly. One FileSet and one package cache span the whole
+// load, so types.Object identities are stable across packages — the
+// property the framework's fact store relies on.
+//
+// Test files (_test.go) are intentionally excluded: the simulator's
+// determinism invariants govern the machinery under test, while tests
+// themselves may freely iterate maps or read wall-clock time. Build
+// constraints are honored with the default tag set (so e.g. the -race
+// variants of internal/sim are skipped, matching a plain `go build`).
+package load
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// A Loader typechecks packages of one module.
+type Loader struct {
+	// Root is the absolute path of the module root (the directory holding
+	// go.mod).
+	Root string
+	// ModulePath is the module's import path. If empty, Open reads it
+	// from go.mod.
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*pkgEntry
+	loading map[string]bool
+	order   []string // completed loads, dependency order
+}
+
+type pkgEntry struct {
+	types *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// Open prepares the loader: it resolves the module path from go.mod when
+// unset and initializes the import machinery.
+func (l *Loader) Open() error {
+	if l.ModulePath == "" {
+		data, err := os.ReadFile(filepath.Join(l.Root, "go.mod"))
+		if err != nil {
+			return fmt.Errorf("load: reading go.mod: %w", err)
+		}
+		m := moduleRe.FindSubmatch(data)
+		if m == nil {
+			return fmt.Errorf("load: no module directive in %s/go.mod", l.Root)
+		}
+		l.ModulePath = string(m[1])
+	}
+	l.fset = token.NewFileSet()
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	l.pkgs = make(map[string]*pkgEntry)
+	l.loading = make(map[string]bool)
+	return nil
+}
+
+// Fset returns the FileSet shared by every loaded package.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load from
+// the module tree, anything else from GOROOT source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if rel, ok := l.moduleRel(path); ok {
+		e, err := l.loadDir(path, filepath.Join(l.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return e.types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// moduleRel reports whether path names a package of this module and, if
+// so, its slash-separated path relative to the module root ("" for the
+// module root package itself).
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if path == l.ModulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+func (l *Loader) loadDir(pkgPath, dir string) (*pkgEntry, error) {
+	if e, ok := l.pkgs[pkgPath]; ok {
+		return e, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("load: import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", pkgPath, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typechecking %s: %w", pkgPath, err)
+	}
+	e := &pkgEntry{types: tpkg, files: files, info: info}
+	l.pkgs[pkgPath] = e
+	l.order = append(l.order, pkgPath)
+	return e, nil
+}
+
+// LoadAll typechecks every package under the module root (the "./..."
+// pattern) and returns them in dependency order: every package appears
+// after all module-internal packages it imports. Directories named
+// testdata, hidden directories, and directories with no non-test Go files
+// are skipped.
+func (l *Loader) LoadAll() ([]*framework.Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return l.LoadDirs(dirs)
+}
+
+// LoadDirs typechecks the packages rooted at the given directories (which
+// must live under Root) and returns all packages loaded — requested ones
+// plus module-internal dependencies — in dependency order.
+func (l *Loader) LoadDirs(dirs []string) ([]*framework.Package, error) {
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := l.ModulePath
+		if rel != "." {
+			pkgPath = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.loadDir(pkgPath, dir); err != nil {
+			var noGo *build.NoGoError
+			if errors.As(err, &noGo) {
+				continue // directory without compilable Go files
+			}
+			return nil, err
+		}
+	}
+	out := make([]*framework.Package, 0, len(l.order))
+	for _, path := range l.order {
+		e := l.pkgs[path]
+		out = append(out, &framework.Package{
+			Fset:       l.fset,
+			Files:      e.files,
+			Types:      e.types,
+			Info:       e.info,
+			ModulePath: l.ModulePath,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/nondeterminism.txtar", nondeterminism.Analyzer)
+}

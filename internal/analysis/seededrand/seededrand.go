@@ -1,0 +1,179 @@
+// Package seededrand implements the simlint analyzer for randomness
+// provenance: any PRNG a simulator package constructs must be seeded from
+// configuration (a LossConfig.Seed-style value), never from host entropy
+// or time. The deterministic loss injector set the pattern — per-link
+// generators derived from LossConfig.Seed so runs replay and links never
+// correlate — and this analyzer makes it a rule:
+//
+//   - crypto/rand must not be imported at all (host entropy by
+//     definition);
+//   - math/rand constructors (NewSource, NewPCG, NewChaCha8, and New with
+//     an inline source) must take seeds that flow from configuration:
+//     every leaf of the seed expression must be a constant, a
+//     seed-carrying identifier or field (name containing "seed"), or a
+//     call to a seed-derivation helper — time.Now().UnixNano() and
+//     friends are rejected;
+//   - draws from the process-global math/rand generator are the
+//     nondeterminism analyzer's business and reported there.
+//
+// Hand-rolled counter-based generators (splitmix64/xorshift over a config
+// seed, as in internal/sim/link.go) need no annotation: they are plain
+// arithmetic and have no entropy source to misuse; the wall-clock and
+// global-rand rules still cover their inputs.
+package seededrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/astcheck"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/simlintcfg"
+)
+
+// Analyzer is the seededrand analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrand",
+	Doc: "PRNGs in simulator packages must be seeded from config, never entropy or time\n\n" +
+		"Rejects crypto/rand imports and math/rand constructors whose seed does not flow from a config seed.",
+	Run: run,
+}
+
+// seedConstructors maps math/rand constructor names to which of their
+// arguments are seeds. New's argument is a Source, checked structurally.
+var seedConstructors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if !simlintcfg.IsDeterministic(pass.ModulePath, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "crypto/rand" {
+				pass.Reportf(imp.Pos(),
+					"crypto/rand is host entropy; simulator randomness must derive from a config seed so runs replay bit-identically [seededrand]")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkConstructor(pass, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkConstructor(pass *framework.Pass, call *ast.CallExpr) {
+	fn := astcheck.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	pkg := astcheck.FuncPkgPath(fn)
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // method on an already-constructed generator
+	}
+	switch {
+	case seedConstructors[fn.Name()]:
+		for _, arg := range call.Args {
+			reportNonSeedLeaves(pass, fn.Name(), arg)
+		}
+	case fn.Name() == "New":
+		// rand.New(rand.NewSource(x)): the inner constructor call is
+		// checked on its own visit. Anything else passed as the source —
+		// an identifier, a selector — is accepted: its construction site
+		// was checked where it happened.
+	}
+}
+
+// reportNonSeedLeaves walks a seed expression and reports every leaf that
+// is not provably configuration-derived. Arithmetic, conversions, and
+// composition of seed-carrying values are all accepted; the goal is
+// provenance, not purity.
+func reportNonSeedLeaves(pass *framework.Pass, ctor string, e ast.Expr) {
+	info := pass.TypesInfo
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		// Any constant subexpression is a fixed seed: deterministic.
+		if tv, ok := info.Types[e]; ok && tv.Value != nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ast.BasicLit:
+			return
+		case *ast.BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+			return
+		case *ast.UnaryExpr:
+			if x.Op == token.SUB || x.Op == token.XOR || x.Op == token.ADD {
+				walk(x.X)
+				return
+			}
+		case *ast.CallExpr:
+			// Conversions (uint64(v)) recurse; seed-derivation helper
+			// calls (names containing "seed") are accepted with their
+			// arguments checked too.
+			if len(x.Args) == 1 {
+				if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+					walk(x.Args[0]) // conversion: uint64(v)
+					return
+				}
+			}
+			if fn := astcheck.CalleeFunc(info, x); fn != nil && carriesSeed(fn.Name()) {
+				for _, a := range x.Args {
+					walk(a)
+				}
+				return
+			}
+		case *ast.Ident:
+			if carriesSeed(x.Name) {
+				return
+			}
+		case *ast.SelectorExpr:
+			if carriesSeed(x.Sel.Name) {
+				return
+			}
+		}
+		pass.Reportf(e.Pos(),
+			"rand.%s seed depends on %s, which is not provably configuration-derived; thread a config seed (LossConfig.Seed-style, name containing \"seed\") through instead [seededrand]",
+			ctor, describe(e))
+	}
+	walk(e)
+}
+
+// carriesSeed reports whether a name declares seed provenance.
+func carriesSeed(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// describe renders a short human label for a rejected seed leaf.
+func describe(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return "identifier " + strconv.Quote(x.Name)
+	case *ast.SelectorExpr:
+		return "selector " + strconv.Quote(x.Sel.Name)
+	case *ast.CallExpr:
+		if fn, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			return "call " + strconv.Quote(fn.Sel.Name)
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			return "call " + strconv.Quote(id.Name)
+		}
+		return "a call result"
+	default:
+		return "a non-seed expression"
+	}
+}

@@ -1,0 +1,101 @@
+package simlintcfg
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestWallClockExemptionsMatchTree pins the exemption list against the
+// tree: every cmd/* directory must appear (a new CLI makes an explicit
+// determinism choice), and every cmd/*-shaped exemption must still exist
+// (no stale entries hiding future violations).
+func TestWallClockExemptionsMatchTree(t *testing.T) {
+	root := moduleRoot(t)
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		t.Fatalf("reading cmd/: %v", err)
+	}
+	inTree := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			inTree["cmd/"+e.Name()] = true
+		}
+	}
+	exempt := make(map[string]bool)
+	for _, e := range WallClockExemptPackages {
+		exempt[e] = true
+	}
+	var missing, stale []string
+	for d := range inTree {
+		if !exempt[d] {
+			missing = append(missing, d)
+		}
+	}
+	for e := range exempt {
+		if filepath.Dir(e) == "cmd" && !inTree[e] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, d := range missing {
+		t.Errorf("%s exists but is not in WallClockExemptPackages: add it (with a why-comment) or put it under the deterministic rules", d)
+	}
+	for _, e := range stale {
+		t.Errorf("WallClockExemptPackages lists %s but cmd/ has no such directory: remove the stale entry", e)
+	}
+}
+
+// TestDeterministicSetMatchesTree checks the deterministic list against
+// internal/: every listed fragment must exist, and every internal
+// package directory must be covered by exactly one of the deterministic
+// or exempt sets.
+func TestDeterministicSetMatchesTree(t *testing.T) {
+	root := moduleRoot(t)
+	for _, d := range DeterministicPackages {
+		if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(d))); err != nil {
+			t.Errorf("DeterministicPackages lists %s but the directory is missing: %v", d, err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatalf("reading internal/: %v", err)
+	}
+	module := "repro"
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := module + "/internal/" + e.Name()
+		det := IsDeterministic(module, pkg)
+		exempt := false
+		for _, x := range WallClockExemptPackages {
+			if matchFragment("internal/"+e.Name(), x) {
+				exempt = true
+			}
+		}
+		if !det && !exempt {
+			t.Errorf("internal/%s is neither deterministic nor exempt: add it to one list in simlintcfg", e.Name())
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

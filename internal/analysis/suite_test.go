@@ -1,0 +1,65 @@
+// Suite-level test: the full simlint analyzer suite must run clean over
+// the real module. This makes `go test ./...` itself enforce the
+// invariants — CI's dedicated simlint job is the same check with nicer
+// output.
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/chargedpath"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/zeroperturbation"
+)
+
+func TestSuiteCleanOnModule(t *testing.T) {
+	root := moduleRoot(t)
+	l := &load.Loader{Root: root}
+	if err := l.Open(); err != nil {
+		t.Fatalf("opening loader at %s: %v", root, err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	suite := []*framework.Analyzer{
+		nondeterminism.Analyzer,
+		zeroperturbation.Analyzer,
+		seededrand.Analyzer,
+		chargedpath.Analyzer,
+	}
+	diags, err := framework.NewRunner().RunAll(suite, pkgs)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", l.Fset().Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		t.Errorf("simlint suite reported %d finding(s) on the merged tree; fix or annotate them (see ARCHITECTURE.md, statically enforced invariants)", len(diags))
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,132 @@
+// Package zeroperturbation implements the simlint analyzer pinning the
+// PR 8 observability contract statically: telemetry observes the
+// simulation, it never participates in it. Runtime enforcement exists
+// (TestTelemetryZeroPerturbation diffs 16 golden shapes off-vs-on), but it
+// only catches a violation that one of those shapes happens to execute;
+// this analyzer rejects the construct itself.
+//
+// Two scopes are checked:
+//
+//   - internal/telemetry may import nothing from this module (stdlib
+//     only). The packages that could perturb a run — the event scheduler,
+//     the cycles and memmodel accounting layers, machine state — are all
+//     module-internal, so an empty internal import set is the strongest
+//     statically checkable form of "reads clocks, never writes machine
+//     state". Calls to scheduler-shaped methods (Schedule*, After) through
+//     injected callbacks or interfaces are rejected too.
+//
+//   - Stamping call sites elsewhere: a function whose name marks it as a
+//     telemetry stamping path (stamp*/Stamp* prefix) may read clocks and
+//     write stamps but must not schedule events or charge through
+//     cycles/memmodel — stamping must cost nothing and move nothing.
+package zeroperturbation
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/astcheck"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/simlintcfg"
+)
+
+// Analyzer is the zeroperturbation analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "zeroperturbation",
+	Doc: "telemetry must never schedule events, charge accounting, or reach machine state\n\n" +
+		"Statically pins the contract runtime-tested by TestTelemetryZeroPerturbation.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if simlintcfg.IsTelemetry(pass.ModulePath, pass.Pkg.Path()) {
+		checkTelemetryPackage(pass)
+		return nil, nil
+	}
+	if simlintcfg.IsDeterministic(pass.ModulePath, pass.Pkg.Path()) {
+		checkStampSites(pass)
+	}
+	return nil, nil
+}
+
+// checkTelemetryPackage rejects module-internal imports and scheduler
+// calls inside the telemetry package.
+func checkTelemetryPackage(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if rel, ok := simlintcfg.Rel(pass.ModulePath, path); ok && !simlintcfg.IsTelemetry(pass.ModulePath, path) {
+				pass.Reportf(imp.Pos(),
+					"telemetry imports %s: the zero-perturbation contract forbids telemetry from reaching simulator state, scheduling, or pricing (%s) [zeroperturbation]",
+					rel, path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, bad := schedulerCall(pass, call); bad {
+				pass.Reportf(call.Pos(),
+					"telemetry calls %s: observation must never schedule simulator events [zeroperturbation]", name)
+			}
+			return true
+		})
+	}
+}
+
+// checkStampSites applies the no-schedule/no-charge rule to stamping
+// functions in the wider deterministic set.
+func checkStampSites(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isStampFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, bad := schedulerCall(pass, call); bad {
+					pass.Reportf(call.Pos(),
+						"stamping function %s calls %s: a telemetry stamp must never schedule events [zeroperturbation]",
+						fd.Name.Name, name)
+				}
+				if fn := astcheck.CalleeFunc(pass.TypesInfo, call); fn != nil &&
+					simlintcfg.IsPricing(pass.ModulePath, astcheck.FuncPkgPath(fn)) {
+					pass.Reportf(call.Pos(),
+						"stamping function %s charges through %s.%s: observation must be free [zeroperturbation]",
+						fd.Name.Name, fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// schedulerCall reports whether call invokes a scheduler-shaped function
+// or method (by name, so interface and callback indirection count too).
+func schedulerCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if simlintcfg.SchedulerFuncNames[fun.Sel.Name] {
+			return fun.Sel.Name, true
+		}
+	case *ast.Ident:
+		if simlintcfg.SchedulerFuncNames[fun.Name] {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}
+
+// isStampFunc reports whether name marks a stamping call site.
+func isStampFunc(name string) bool {
+	return strings.HasPrefix(name, "stamp") || strings.HasPrefix(name, "Stamp")
+}

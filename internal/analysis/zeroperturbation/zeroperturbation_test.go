@@ -1,0 +1,12 @@
+package zeroperturbation_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/zeroperturbation"
+)
+
+func TestZeroPerturbation(t *testing.T) {
+	analysistest.Run(t, "testdata/zeroperturbation.txtar", zeroperturbation.Analyzer)
+}

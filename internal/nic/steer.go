@@ -7,7 +7,9 @@
 package nic
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/ipv4"
 	"repro/internal/rss"
@@ -88,18 +90,41 @@ func (n *NIC) RemoveFlowRule(t FlowTuple) bool {
 }
 
 // evictLRURule removes and returns the least-recently-hit rule's tuple.
+// Ties on lastHit (same-instant programming, quiet table) are broken by
+// tuple order: picking the tie victim by map iteration order would make
+// the rule table's contents — and every steering decision after the
+// eviction — differ between two runs of the same config.
 func (n *NIC) evictLRURule() FlowTuple {
-	var victim FlowTuple
-	first := true
-	var oldest uint64
-	for t, r := range n.rules {
-		if first || r.lastHit < oldest {
-			victim, oldest, first = t, r.lastHit, false
-		}
+	candidates := make([]FlowTuple, 0, len(n.rules))
+	//simlint:sorted candidates are fully sorted by (lastHit, tuple) below before the victim is chosen
+	for t := range n.rules {
+		candidates = append(candidates, t)
 	}
+	sort.Slice(candidates, func(i, j int) bool {
+		hi, hj := n.rules[candidates[i]].lastHit, n.rules[candidates[j]].lastHit
+		if hi != hj {
+			return hi < hj
+		}
+		return tupleLess(candidates[i], candidates[j])
+	})
+	victim := candidates[0]
 	delete(n.rules, victim)
 	n.ruleStats.Evicted++
 	return victim
+}
+
+// tupleLess is a total order over FlowTuple for deterministic tie-breaks.
+func tupleLess(a, b FlowTuple) bool {
+	if c := bytes.Compare(a.Src[:], b.Src[:]); c != 0 {
+		return c < 0
+	}
+	if c := bytes.Compare(a.Dst[:], b.Dst[:]); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	return a.DstPort < b.DstPort
 }
 
 // steerQueue resolves the receive queue for a classified frame: an

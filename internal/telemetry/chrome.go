@@ -87,6 +87,7 @@ func ValidateChromeTrace(data []byte) (int, error) {
 	}
 	// Deterministic tid ordering sanity: tids must be 0..n-1.
 	tids := make([]int, 0, len(lastTs))
+	//simlint:sorted tid set is collected unordered, then fully sorted before the contiguity check
 	for t := range lastTs {
 		tids = append(tids, t)
 	}
